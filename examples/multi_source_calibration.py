@@ -1,0 +1,75 @@
+"""Calibrating to cases AND deaths (the Figure 5 workflow).
+
+Runs the same sequential calibration twice — once against reported cases
+only, once with the unbiased death stream added — and quantifies the
+paper's Fig 5 claim: the second data source constrains the (theta, rho)
+posterior further, because deaths anchor the *scale* of the epidemic that
+the reporting probability would otherwise trade off against.
+
+Run:  python examples/multi_source_calibration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CalibrationConfig, calibrate
+from repro.data import PiecewiseConstant
+from repro.seir import DiseaseParameters
+from repro.sim import make_ground_truth
+
+
+def main() -> None:
+    params = DiseaseParameters(population=150_000, initial_exposed=300)
+    truth = make_ground_truth(
+        params=params, horizon=30, seed=33,
+        theta_schedule=PiecewiseConstant(breakpoints=(18,),
+                                         values=(0.30, 0.24)),
+        rho_schedule=PiecewiseConstant.constant(0.65))
+
+    config = CalibrationConfig(window_breaks=(8, 18, 30),
+                               n_parameter_draws=200, n_replicates=3,
+                               resample_size=250, base_seed=17)
+
+    print("Calibrating to case counts only...")
+    cases_only = calibrate(truth.observations(include_deaths=False), config,
+                           base_params=params)
+    print("Calibrating to case counts AND deaths...")
+    with_deaths = calibrate(truth.observations(include_deaths=True), config,
+                            base_params=params)
+
+    print("\n                         cases only        cases + deaths    truth")
+    for i, wr in enumerate(cases_only.windows):
+        mid = (wr.window.start_day + wr.window.end_day) // 2
+        for name in ("theta", "rho"):
+            a = cases_only.windows[i].summary()[name]
+            b = with_deaths.windows[i].summary()[name]
+            true_val = (truth.theta_true(mid) if name == "theta"
+                        else truth.rho_true(mid))
+            print(f"  {wr.window.label():12s} {name:5s} "
+                  f"{a['mean']:.3f} [{a['ci90'][0]:.3f},{a['ci90'][1]:.3f}]  "
+                  f"{b['mean']:.3f} [{b['ci90'][0]:.3f},{b['ci90'][1]:.3f}]  "
+                  f"{true_val:.2f}")
+
+    def mean_width(result, name):
+        track = result.parameter_track(name)
+        return float(np.mean(track.ci90[:, 1] - track.ci90[:, 0]))
+
+    for name in ("theta", "rho"):
+        w_cases = mean_width(cases_only, name)
+        w_both = mean_width(with_deaths, name)
+        change = 100.0 * (1.0 - w_both / w_cases) if w_cases else 0.0
+        print(f"\n{name}: mean 90% CI width {w_cases:.3f} (cases) -> "
+              f"{w_both:.3f} (cases+deaths), {change:+.0f}% tighter")
+
+    # rho identifiability: deaths pin the true epidemic size, so the rho
+    # estimate should sit closer to the truth than in the cases-only run.
+    rho_true = truth.rho_true(20)
+    err_cases = abs(cases_only.parameter_track("rho").means.mean() - rho_true)
+    err_both = abs(with_deaths.parameter_track("rho").means.mean() - rho_true)
+    print(f"\nrho estimation error: {err_cases:.3f} (cases) vs "
+          f"{err_both:.3f} (cases+deaths)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``setuptools.build_meta:build_editable`` -> ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-use-pep517`` take the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper experiments at a chosen scale and write their
+data products to an output directory:
+
+* ``fig2`` — simulated ground truth series;
+* ``fig3`` — single-window importance sampling summary;
+* ``fig4`` — sequential calibration (cases only);
+* ``fig5`` — sequential calibration (cases + deaths);
+* ``forecast`` — calibrate then forecast beyond the data.
+
+Example::
+
+    python -m repro fig4 --draws 500 --replicates 5 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .baselines import single_shot_importance_sampling
+from .core import paper_first_window_prior, paper_observation_model
+from .hpc import make_executor
+from .inference import CalibrationConfig, calibrate, forecast_from_posterior
+from .seir import chicago_defaults
+from .sim import make_fig2_ground_truth
+from .viz import write_json, write_series_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequential Monte Carlo calibration of stochastic "
+                    "epidemic models (Fadikar et al. 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--out", type=Path, default=Path("repro-output"),
+                       help="output directory (default: ./repro-output)")
+        p.add_argument("--seed", type=int, default=20240215,
+                       help="base seed for the whole run")
+        p.add_argument("--executor", choices=("serial", "process", "thread"),
+                       default="process", help="parallel backend")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker count for pooled executors")
+
+    p2 = sub.add_parser("fig2", help="simulate the ground truth (Figure 2)")
+    common(p2)
+    p2.add_argument("--horizon", type=int, default=100)
+
+    for name, text in (("fig3", "single-window IS calibration (Figure 3)"),
+                       ("fig4", "sequential calibration, cases (Figure 4)"),
+                       ("fig5", "sequential calibration, cases+deaths (Figure 5)"),
+                       ("forecast", "calibrate then forecast ahead")):
+        p = sub.add_parser(name, help=text)
+        common(p)
+        p.add_argument("--draws", type=int, default=300,
+                       help="prior parameter draws (paper: 25000)")
+        p.add_argument("--replicates", type=int, default=5,
+                       help="common-seed replicates per draw (paper: 20)")
+        p.add_argument("--resample", type=int, default=1000,
+                       help="posterior sample size (paper: 10000)")
+        if name == "forecast":
+            p.add_argument("--horizon-days", type=int, default=14)
+    return parser
+
+
+def _cmd_fig2(args) -> int:
+    truth = make_fig2_ground_truth(seed=args.seed, horizon=args.horizon)
+    args.out.mkdir(parents=True, exist_ok=True)
+    write_series_csv(args.out / "fig2_series.csv", {
+        "true_cases": truth.true_cases,
+        "observed_cases": truth.observed_cases,
+        "deaths": truth.deaths})
+    print(f"wrote {args.out / 'fig2_series.csv'}")
+    last = truth.true_cases.end_day - 1
+    print(f"day {last}: true {truth.true_cases.value_on(last):.0f}, "
+          f"observed {truth.observed_cases.value_on(last):.0f}, "
+          f"deaths {truth.deaths.value_on(last):.0f}")
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    truth = make_fig2_ground_truth(seed=777, horizon=40)
+    executor = make_executor(args.executor, max_workers=args.workers)
+    try:
+        result = single_shot_importance_sampling(
+            truth.observations(), chicago_defaults(),
+            paper_first_window_prior(), paper_observation_model(),
+            start_day=20, end_day=34, n_parameter_draws=args.draws,
+            n_replicates=args.replicates, resample_size=args.resample,
+            base_seed=args.seed, executor=executor)
+    finally:
+        executor.close()
+    args.out.mkdir(parents=True, exist_ok=True)
+    summary = result.summary()
+    write_json(args.out / "fig3_summary.json", summary)
+    print(json.dumps(summary, indent=2, default=float))
+    return 0
+
+
+def _sequential(args, include_deaths: bool, label: str) -> int:
+    truth = make_fig2_ground_truth(seed=777, horizon=76)
+    cfg = CalibrationConfig(
+        window_breaks=(20, 34, 48, 62, 76),
+        n_parameter_draws=args.draws, n_replicates=args.replicates,
+        resample_size=args.resample, theta_jitter_width=0.16,
+        rho_jitter_width=0.04, n_continuations=2, base_seed=args.seed,
+        executor=args.executor, max_workers=args.workers)
+    result = calibrate(truth.observations(include_deaths=include_deaths),
+                       cfg, verbose=True)
+    args.out.mkdir(parents=True, exist_ok=True)
+    result.save_summary(args.out / f"{label}_summary.json")
+    print()
+    print(result.describe())
+    print(f"\nwrote {args.out / (label + '_summary.json')}")
+    return 0
+
+
+def _cmd_forecast(args) -> int:
+    truth = make_fig2_ground_truth(seed=777, horizon=48)
+    cfg = CalibrationConfig(
+        window_breaks=(20, 34, 48), n_parameter_draws=args.draws,
+        n_replicates=args.replicates, resample_size=args.resample,
+        base_seed=args.seed, executor=args.executor,
+        max_workers=args.workers)
+    result = calibrate(truth.observations(include_deaths=True), cfg,
+                       verbose=True)
+    forecast = forecast_from_posterior(result.final_posterior,
+                                       horizon_days=args.horizon_days,
+                                       base_seed=args.seed)
+    ribbon = forecast.ribbon("cases")
+    args.out.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "start_day": forecast.start_day,
+        "horizon_days": forecast.horizon_days,
+        "days": ribbon.days.tolist(),
+        "q05": ribbon.band(0.05).tolist(),
+        "q50": ribbon.median().tolist(),
+        "q95": ribbon.band(0.95).tolist(),
+    }
+    write_json(args.out / "forecast.json", payload)
+    print(f"\nforecast written to {args.out / 'forecast.json'}; "
+          f"median day-{forecast.start_day + args.horizon_days - 1} cases: "
+          f"{float(np.asarray(payload['q50'])[-1]):.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig2":
+        return _cmd_fig2(args)
+    if args.command == "fig3":
+        return _cmd_fig3(args)
+    if args.command == "fig4":
+        return _sequential(args, include_deaths=False, label="fig4")
+    if args.command == "fig5":
+        return _sequential(args, include_deaths=True, label="fig5")
+    if args.command == "forecast":
+        return _cmd_forecast(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Adaptive extensions addressing the paper's section VI concerns.
+
+The discussion section flags two operational risks of the plain SIS scheme:
+weights "concentrating on just a few draws", and posteriors drifting away
+from reality when proposals cannot reach it.  This module implements the
+standard SMC counter-measures as composable utilities:
+
+* :func:`tempered_weight_schedule` / :class:`TemperedWindowSampler` —
+  likelihood tempering *within* a window: instead of one jump from prior to
+  posterior, the likelihood is raised through exponents
+  ``0 < beta_1 < ... < beta_K = 1`` chosen adaptively so each bridging step
+  keeps the ESS above a floor.  (No re-simulation is needed: the tempering
+  reuses the window's simulated trajectories, reweighting and resampling
+  among them.)
+* :func:`adaptive_jitter_width` — scales the next window's jitter kernels to
+  the current posterior spread (a Silverman-style rule), so proposals widen
+  automatically when the posterior is diffuse and sharpen when it has
+  converged.
+* :func:`ess_triggered_resample` — classic conditional resampling: only
+  resample when the ESS fraction drops below a threshold, otherwise carry
+  weights forward (reduces unnecessary resampling noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .resampling import get_resampler
+from .weights import effective_sample_size, normalize_log_weights
+
+__all__ = ["tempered_weight_schedule", "TemperedResult",
+           "temper_and_resample", "adaptive_jitter_width",
+           "ess_triggered_resample"]
+
+
+def _ess_at(log_lik: np.ndarray, beta: float) -> float:
+    w = normalize_log_weights(beta * log_lik)
+    return effective_sample_size(w)
+
+
+def tempered_weight_schedule(log_lik: np.ndarray, *,
+                             ess_floor_fraction: float = 0.5,
+                             max_stages: int = 64) -> list[float]:
+    """Choose tempering exponents adaptively by bisection.
+
+    Starting from ``beta = 0``, each stage advances the exponent as far as
+    possible while the *incremental* weights ``exp((beta' - beta) L)`` keep
+    the ESS above ``ess_floor_fraction`` of the ensemble size.  Returns the
+    increasing list of exponents ending at exactly 1.0.
+    """
+    if not 0 < ess_floor_fraction < 1:
+        raise ValueError("ess_floor_fraction must be in (0, 1)")
+    ll = np.asarray(log_lik, dtype=np.float64)
+    if ll.ndim != 1 or ll.size == 0:
+        raise ValueError("log_lik must be a non-empty 1-d array")
+    n = ll.size
+    target = ess_floor_fraction * n
+
+    schedule: list[float] = []
+    beta = 0.0
+    for _ in range(max_stages):
+        if _incremental_ess(ll, beta, 1.0) >= target:
+            schedule.append(1.0)
+            return schedule
+        lo, hi = beta, 1.0
+        for _ in range(50):  # bisection on the increment
+            mid = 0.5 * (lo + hi)
+            if _incremental_ess(ll, beta, mid) >= target:
+                lo = mid
+            else:
+                hi = mid
+        # Guarantee forward progress even for pathological likelihoods.
+        beta = max(lo, beta + 1e-4)
+        beta = min(beta, 1.0)
+        schedule.append(beta)
+        if beta >= 1.0:
+            return schedule
+    schedule.append(1.0)
+    return schedule
+
+
+def _incremental_ess(ll: np.ndarray, beta_from: float, beta_to: float) -> float:
+    return _ess_at(ll, 1.0) if beta_from == 0 and beta_to == 1.0 and False \
+        else effective_sample_size(
+            normalize_log_weights((beta_to - beta_from) * ll))
+
+
+@dataclass(frozen=True)
+class TemperedResult:
+    """Outcome of a tempered within-window resampling pass."""
+
+    indices: np.ndarray
+    schedule: tuple[float, ...]
+    stage_ess: tuple[float, ...]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.schedule)
+
+
+def temper_and_resample(log_lik: np.ndarray, n_out: int,
+                        rng: np.random.Generator, *,
+                        ess_floor_fraction: float = 0.5,
+                        resampler: str = "systematic") -> TemperedResult:
+    """Bridge from the prior ensemble to the posterior through tempering.
+
+    Returns ancestor indices into the original ensemble after the staged
+    reweight/resample passes.  With a single stage this reduces exactly to
+    the plain SIS resampling step.
+    """
+    ll = np.asarray(log_lik, dtype=np.float64)
+    schedule = tempered_weight_schedule(ll, ess_floor_fraction=ess_floor_fraction)
+    sampler = get_resampler(resampler)
+
+    current = np.arange(ll.size)
+    beta_prev = 0.0
+    stage_ess = []
+    for beta in schedule:
+        incremental = (beta - beta_prev) * ll[current]
+        w = normalize_log_weights(incremental)
+        stage_ess.append(effective_sample_size(w))
+        size = n_out if beta >= 1.0 else ll.size
+        picks = sampler(w, size, rng)
+        current = current[picks]
+        beta_prev = beta
+    return TemperedResult(indices=current, schedule=tuple(schedule),
+                          stage_ess=tuple(stage_ess))
+
+
+def adaptive_jitter_width(posterior_values: np.ndarray, *,
+                          floor: float = 1e-3,
+                          scale: float = 1.0) -> float:
+    """Jitter half-width from the posterior sample spread.
+
+    Uses the Silverman-style bandwidth ``1.06 sigma n^{-1/5}`` (with the
+    robust sigma = min(sd, IQR/1.34)), multiplied by ``scale``.  A diffuse
+    posterior explores widely next window; a concentrated one refines.
+    """
+    v = np.asarray(posterior_values, dtype=np.float64)
+    if v.ndim != 1 or v.size < 2:
+        raise ValueError("need at least two posterior values")
+    sd = float(np.std(v))
+    q75, q25 = np.percentile(v, [75, 25])
+    robust = min(sd, (q75 - q25) / 1.34) if q75 > q25 else sd
+    width = 1.06 * robust * v.size ** (-0.2) * scale
+    return max(float(width), floor)
+
+
+def ess_triggered_resample(log_weights: np.ndarray, n_out: int,
+                           rng: np.random.Generator, *,
+                           threshold_fraction: float = 0.5,
+                           resampler: str = "systematic",
+                           ) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Resample only when ESS drops below the threshold.
+
+    Returns ``(indices, new_log_weights, resampled)``: when the ESS is
+    healthy, indices are the identity and the log-weights pass through so
+    they keep accumulating across windows; when degenerate, the ensemble is
+    resampled and weights reset to zero (uniform).
+    """
+    if not 0 < threshold_fraction <= 1:
+        raise ValueError("threshold_fraction must be in (0, 1]")
+    lw = np.asarray(log_weights, dtype=np.float64)
+    w = normalize_log_weights(lw)
+    ess = effective_sample_size(w)
+    if ess >= threshold_fraction * lw.size and n_out == lw.size:
+        return np.arange(lw.size), lw.copy(), False
+    indices = get_resampler(resampler)(w, n_out, rng)
+    return indices, np.zeros(n_out), True

@@ -1,0 +1,122 @@
+"""Weight-degeneracy diagnostics for the SIS update.
+
+Section VI of the paper discusses the failure modes this module watches for:
+posterior weights concentrating on a few draws, and highly weighted
+trajectories that still do not track reality.  The calibrator records a
+:class:`WindowDiagnostics` per window; :func:`assess` turns one into a
+human-readable health verdict used by examples and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .weights import effective_sample_size, weight_entropy
+
+__all__ = ["WindowDiagnostics", "compute_diagnostics", "assess"]
+
+#: Below this ESS fraction a window is flagged as degenerate.
+DEGENERACY_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class WindowDiagnostics:
+    """Summary statistics of one window's importance weights.
+
+    Attributes
+    ----------
+    n_particles:
+        Size of the weighted (pre-resampling) ensemble.
+    ess:
+        Kish effective sample size.
+    ess_fraction:
+        ``ess / n_particles``.
+    entropy:
+        Shannon entropy of the normalised weights (nats).
+    entropy_fraction:
+        Entropy relative to the uniform maximum ``log(n)``.
+    max_weight:
+        Largest single normalised weight.
+    unique_ancestors:
+        Distinct ancestors surviving the resampling step.
+    log_evidence:
+        Log of the window's average unnormalised weight — an estimate of the
+        incremental marginal likelihood ``log p(y_window | y_past)``.
+    """
+
+    n_particles: int
+    ess: float
+    ess_fraction: float
+    entropy: float
+    entropy_fraction: float
+    max_weight: float
+    unique_ancestors: int
+    log_evidence: float
+
+    @property
+    def degenerate(self) -> bool:
+        """True when the weighted ensemble has effectively collapsed."""
+        return self.ess_fraction < DEGENERACY_THRESHOLD
+
+    def to_dict(self) -> dict:
+        return {
+            "n_particles": self.n_particles,
+            "ess": self.ess,
+            "ess_fraction": self.ess_fraction,
+            "entropy": self.entropy,
+            "entropy_fraction": self.entropy_fraction,
+            "max_weight": self.max_weight,
+            "unique_ancestors": self.unique_ancestors,
+            "log_evidence": self.log_evidence,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WindowDiagnostics":
+        return cls(n_particles=int(d["n_particles"]), ess=float(d["ess"]),
+                   ess_fraction=float(d["ess_fraction"]),
+                   entropy=float(d["entropy"]),
+                   entropy_fraction=float(d["entropy_fraction"]),
+                   max_weight=float(d["max_weight"]),
+                   unique_ancestors=int(d["unique_ancestors"]),
+                   log_evidence=float(d["log_evidence"]))
+
+
+def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
+                        unique_ancestors: int) -> WindowDiagnostics:
+    """Assemble diagnostics from a window's weight vectors."""
+    lw = np.asarray(log_weights, dtype=np.float64)
+    w = np.asarray(normalized, dtype=np.float64)
+    if lw.shape != w.shape:
+        raise ValueError("log_weights and normalized weights must align")
+    n = int(w.size)
+    ess = effective_sample_size(w)
+    entropy = weight_entropy(w)
+    max_entropy = float(np.log(n)) if n > 1 else 1.0
+    hi = float(np.max(lw))
+    log_evidence = hi + float(np.log(np.mean(np.exp(lw - hi)))) if hi > -np.inf \
+        else -np.inf
+    return WindowDiagnostics(
+        n_particles=n,
+        ess=float(ess),
+        ess_fraction=float(ess / n),
+        entropy=float(entropy),
+        entropy_fraction=float(entropy / max_entropy),
+        max_weight=float(np.max(w)),
+        unique_ancestors=int(unique_ancestors),
+        log_evidence=float(log_evidence),
+    )
+
+
+def assess(diag: WindowDiagnostics) -> str:
+    """One-line health verdict for logs and bench output."""
+    if diag.degenerate:
+        return (f"DEGENERATE: ESS {diag.ess:.1f}/{diag.n_particles} "
+                f"({100 * diag.ess_fraction:.1f}%) — increase the ensemble "
+                "or widen proposals")
+    if diag.ess_fraction < 0.2:
+        return (f"marginal: ESS {diag.ess:.1f}/{diag.n_particles} "
+                f"({100 * diag.ess_fraction:.1f}%)")
+    return (f"healthy: ESS {diag.ess:.1f}/{diag.n_particles} "
+            f"({100 * diag.ess_fraction:.1f}%)")

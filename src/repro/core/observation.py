@@ -1,0 +1,119 @@
+"""Observation model: bias + likelihood per data source.
+
+This is the glue between a simulated :class:`~repro.seir.outputs.Trajectory`
+and the observed data streams.  Each :class:`SourceModel` declares which
+simulator channel it reads, whether the binomial reporting bias applies (the
+paper biases cases but not deaths), and which likelihood scores it.  The
+:class:`ObservationModel` sums the per-source log-likelihoods for the sources
+actually present in an observation window — calibrating to cases alone
+(Fig 3/4) or to cases and deaths (Fig 5) is purely a matter of which streams
+the :class:`~repro.data.sources.ObservationSet` carries.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..data.series import TimeSeries
+from ..data.sources import CASES, DEATHS, ObservationSet
+from ..seir.outputs import Trajectory
+from .bias import BinomialBiasModel
+from .likelihood import Likelihood, paper_likelihood
+
+__all__ = ["SourceModel", "ObservationModel", "paper_observation_model"]
+
+
+class SourceModel:
+    """Bias + likelihood configuration for one observed stream."""
+
+    def __init__(self, name: str, channel: str, *,
+                 biased: bool = True,
+                 likelihood: Likelihood | None = None,
+                 bias: BinomialBiasModel | None = None) -> None:
+        self.name = name
+        self.channel = channel
+        self.biased = bool(biased)
+        self.likelihood = likelihood if likelihood is not None else paper_likelihood()
+        self.bias = bias if bias is not None else BinomialBiasModel("sample")
+
+    def simulated_observed(self, trajectory: Trajectory, rho: float,
+                           rng: np.random.Generator | None) -> TimeSeries:
+        """The particle's simulated *observed* series for this stream.
+
+        Applies the binomial bias with the particle's rho when the stream is
+        biased; otherwise returns the raw channel (the paper's death stream).
+        """
+        raw = trajectory.series(self.channel)
+        if not self.biased:
+            return raw
+        return self.bias.apply_series(raw, rho, rng)
+
+    def loglik(self, observed: TimeSeries, trajectory: Trajectory, rho: float,
+               rng: np.random.Generator | None) -> float:
+        """Log-likelihood of the observed window under this particle."""
+        simulated = self.simulated_observed(trajectory, rho, rng)
+        sim_window = simulated.window(observed.start_day, observed.end_day)
+        return self.likelihood.loglik_series(observed, sim_window)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SourceModel({self.name!r}, channel={self.channel!r}, "
+                f"biased={self.biased}, likelihood={self.likelihood!r})")
+
+
+class ObservationModel:
+    """Name-keyed bundle of :class:`SourceModel` objects."""
+
+    def __init__(self, sources: Mapping[str, SourceModel]) -> None:
+        if not sources:
+            raise ValueError("need at least one source model")
+        for key, model in sources.items():
+            if key != model.name:
+                raise ValueError(f"source key {key!r} != model name {model.name!r}")
+        self._sources = dict(sources)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    def source(self, name: str) -> SourceModel:
+        return self._sources[name]
+
+    def loglik(self, observations: ObservationSet, trajectory: Trajectory,
+               rho: float, rng: np.random.Generator | None) -> float:
+        """Sum of per-source log-likelihoods over the streams present.
+
+        Streams in ``observations`` without a configured source model are an
+        error (silently ignoring data would corrupt the posterior); sources
+        configured but absent from the data are simply unused.
+        """
+        total = 0.0
+        for obs_source in observations:
+            if obs_source.name not in self._sources:
+                raise KeyError(
+                    f"no SourceModel configured for observed stream "
+                    f"{obs_source.name!r}; configured: {sorted(self._sources)}")
+            model = self._sources[obs_source.name]
+            total += model.loglik(obs_source.series, trajectory, rho, rng)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObservationModel(sources={sorted(self._sources)})"
+
+
+def paper_observation_model(sigma: float = 1.0,
+                            bias_mode: str = "sample") -> ObservationModel:
+    """Cases (binomially biased) + deaths (unbiased), Gaussian sqrt likelihoods.
+
+    Matches section V: "We do not assume any reporting bias on death counts,
+    instead we use a Gaussian error model on the square-root counts similar
+    to reported case counts."
+    """
+    bias = BinomialBiasModel(bias_mode)
+    return ObservationModel({
+        CASES: SourceModel(CASES, CASES, biased=True,
+                           likelihood=paper_likelihood(sigma), bias=bias),
+        DEATHS: SourceModel(DEATHS, DEATHS, biased=False,
+                            likelihood=paper_likelihood(sigma)),
+    })

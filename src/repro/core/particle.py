@@ -1,0 +1,185 @@
+"""Particles: weighted trajectory hypotheses.
+
+A particle in this framework is richer than a parameter vector — it is the
+tuple the paper calibrates: parameters ``theta``, reporting probability
+``rho``, the random seed ``s`` (a first-class coordinate, section IV), the
+stored simulator state (checkpoint) at the end of the last calibrated
+window, and the trajectory history it has generated so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..seir.checkpoint import Checkpoint
+from ..seir.outputs import Trajectory
+from .weights import (effective_sample_size, normalize_log_weights,
+                      weighted_mean, weighted_quantile)
+
+__all__ = ["Particle", "ParticleEnsemble"]
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One weighted trajectory hypothesis.
+
+    Attributes
+    ----------
+    params:
+        Calibration parameters, e.g. ``{"theta": 0.31, "rho": 0.62}``.
+    seed:
+        The random seed that generated :attr:`segment`.
+    log_weight:
+        Unnormalised importance log-weight from the current window.
+    segment:
+        Trajectory of the most recent calibration window.
+    history:
+        Full trajectory from simulation start through the current window
+        (used for posterior ribbons across the whole horizon).
+    checkpoint:
+        Simulator state at the end of the current window, for restart.
+    ancestor:
+        Index of the parent particle in the previous window's posterior
+        (-1 for first-window particles); exposes lineage for diagnostics.
+    """
+
+    params: dict[str, float]
+    seed: int
+    log_weight: float = 0.0
+    segment: Trajectory | None = None
+    history: Trajectory | None = None
+    checkpoint: Checkpoint | None = None
+    ancestor: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           {k: float(v) for k, v in dict(self.params).items()})
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "log_weight", float(self.log_weight))
+
+    def value(self, name: str) -> float:
+        """Parameter value by name (KeyError if absent)."""
+        return self.params[name]
+
+    def with_weight(self, log_weight: float) -> "Particle":
+        return replace(self, log_weight=float(log_weight))
+
+
+class ParticleEnsemble:
+    """An ordered collection of particles with weight-aware summaries."""
+
+    def __init__(self, particles: Sequence[Particle]) -> None:
+        if not particles:
+            raise ValueError("ensemble must contain at least one particle")
+        self._particles = list(particles)
+        names = set(self._particles[0].params)
+        for p in self._particles:
+            if set(p.params) != names:
+                raise ValueError("particles disagree on parameter names")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._particles)
+
+    def __iter__(self):
+        return iter(self._particles)
+
+    def __getitem__(self, index: int) -> Particle:
+        return self._particles[index]
+
+    @property
+    def particles(self) -> list[Particle]:
+        return list(self._particles)
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._particles[0].params))
+
+    # ------------------------------------------------------------------ #
+    def values(self, name: str) -> np.ndarray:
+        """Array of one named parameter across the ensemble."""
+        return np.array([p.params[name] for p in self._particles])
+
+    def seeds(self) -> np.ndarray:
+        return np.array([p.seed for p in self._particles], dtype=np.int64)
+
+    def log_weights(self) -> np.ndarray:
+        return np.array([p.log_weight for p in self._particles])
+
+    def normalized_weights(self) -> np.ndarray:
+        """Normalised weights (uniform if all log-weights are equal)."""
+        return normalize_log_weights(self.log_weights())
+
+    def effective_sample_size(self) -> float:
+        return effective_sample_size(self.normalized_weights())
+
+    # ------------------------------------------------------------------ #
+    def weighted_mean(self, name: str) -> float:
+        return weighted_mean(self.values(name), self.normalized_weights())
+
+    def weighted_quantile(self, name: str, q):
+        return weighted_quantile(self.values(name), self.normalized_weights(), q)
+
+    def credible_interval(self, name: str, level: float = 0.9) -> tuple[float, float]:
+        """Equal-tailed credible interval at the given level."""
+        if not 0 < level < 1:
+            raise ValueError("level must be in (0, 1)")
+        alpha = (1.0 - level) / 2.0
+        lo, hi = self.weighted_quantile(name, np.array([alpha, 1.0 - alpha]))
+        return float(lo), float(hi)
+
+    # ------------------------------------------------------------------ #
+    def select(self, indices) -> "ParticleEnsemble":
+        """Sub-ensemble by ancestor indices (weights reset to uniform).
+
+        This is the post-resampling constructor: resampled particles are
+        equally weighted draws from the weighted ensemble, and each records
+        which ancestor it came from.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        chosen = [replace(self._particles[int(i)], log_weight=0.0,
+                          ancestor=int(i)) for i in idx]
+        return ParticleEnsemble(chosen)
+
+    def unique_ancestors(self) -> int:
+        """Number of distinct ancestor indices (post-resampling diversity)."""
+        return len({p.ancestor for p in self._particles})
+
+    def trajectories(self, which: str = "segment") -> list[Trajectory]:
+        """Collect per-particle trajectories (``segment`` or ``history``)."""
+        if which not in ("segment", "history"):
+            raise ValueError("which must be 'segment' or 'history'")
+        out = []
+        for p in self._particles:
+            traj = p.segment if which == "segment" else p.history
+            if traj is None:
+                raise ValueError(f"particle missing {which} trajectory")
+            out.append(traj)
+        return out
+
+    def params_matrix(self) -> np.ndarray:
+        """(n_particles, n_params) matrix, columns in :attr:`param_names` order."""
+        names = self.param_names
+        return np.column_stack([self.values(n) for n in names])
+
+    @classmethod
+    def from_param_arrays(cls, params: Mapping[str, np.ndarray],
+                          seeds: np.ndarray) -> "ParticleEnsemble":
+        """Build an unweighted ensemble from name-keyed parameter arrays."""
+        names = list(params)
+        if not names:
+            raise ValueError("need at least one parameter array")
+        n = len(np.asarray(params[names[0]]))
+        seeds_arr = np.asarray(seeds, dtype=np.int64)
+        if seeds_arr.shape != (n,):
+            raise ValueError("seeds must match parameter array length")
+        particles = [
+            Particle(params={name: float(np.asarray(params[name])[i])
+                             for name in names},
+                     seed=int(seeds_arr[i]))
+            for i in range(n)
+        ]
+        return cls(particles)

@@ -1,0 +1,244 @@
+"""Prior distributions for the calibration parameters.
+
+The paper's first-window priors (section V-B) are
+
+* ``theta ~ Uniform(0.1, 0.5)`` — the transmission rate, and
+* ``rho ~ Beta(4, 1)`` — the reporting probability, a "strong informative
+  prior" favouring high reporting.
+
+The module provides a small distribution toolkit (sampling + log-density +
+support) sufficient for the SIS weight algebra, plus an independent product
+prior over named parameters.  Everything samples through an injected
+``numpy`` generator so runs are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["Distribution", "Uniform", "Beta", "LogNormal", "TruncatedNormal",
+           "Dirac", "IndependentProduct", "paper_first_window_prior"]
+
+
+class Distribution(ABC):
+    """Scalar distribution interface used by priors and proposals."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` IID samples."""
+
+    @abstractmethod
+    def logpdf(self, x) -> np.ndarray:
+        """Elementwise log-density (``-inf`` outside the support)."""
+
+    @property
+    @abstractmethod
+    def support(self) -> tuple[float, float]:
+        """Closed support bounds ``(low, high)`` (may be infinite)."""
+
+    def contains(self, x) -> np.ndarray:
+        """Elementwise support membership."""
+        lo, hi = self.support
+        arr = np.asarray(x, dtype=np.float64)
+        return (arr >= lo) & (arr <= hi)
+
+    def mean(self) -> float:
+        """Analytic mean; subclasses override (used in summaries only)."""
+        raise NotImplementedError
+
+
+class Uniform(Distribution):
+    """Continuous uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def logpdf(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        out = np.full(arr.shape, -np.inf)
+        inside = (arr >= self.low) & (arr <= self.high)
+        out[inside] = -np.log(self.high - self.low)
+        return out
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Beta(Distribution):
+    """Beta distribution on ``[0, 1]`` (the paper's reporting-bias prior)."""
+
+    def __init__(self, a: float, b: float) -> None:
+        if a <= 0 or b <= 0:
+            raise ValueError("Beta shape parameters must be positive")
+        self.a = float(a)
+        self.b = float(b)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.beta(self.a, self.b, size=n)
+
+    def logpdf(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return np.asarray(stats.beta.logpdf(arr, self.a, self.b))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, 1.0)
+
+    def mean(self) -> float:
+        return self.a / (self.a + self.b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Beta({self.a}, {self.b})"
+
+
+class LogNormal(Distribution):
+    """Log-normal with parameters of the underlying normal."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    def logpdf(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return np.asarray(stats.lognorm.logpdf(arr, s=self.sigma,
+                                               scale=np.exp(self.mu)))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (0.0, np.inf)
+
+    def mean(self) -> float:
+        return float(np.exp(self.mu + 0.5 * self.sigma**2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogNormal(mu={self.mu}, sigma={self.sigma})"
+
+
+class TruncatedNormal(Distribution):
+    """Normal truncated to ``[low, high]`` (useful informative priors)."""
+
+    def __init__(self, mu: float, sigma: float, low: float, high: float) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not high > low:
+            raise ValueError("need high > low")
+        self.mu, self.sigma = float(mu), float(sigma)
+        self.low, self.high = float(low), float(high)
+        self._a = (self.low - self.mu) / self.sigma
+        self._b = (self.high - self.mu) / self.sigma
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        frozen = stats.truncnorm(self._a, self._b, loc=self.mu, scale=self.sigma)
+        return np.asarray(frozen.rvs(size=n, random_state=rng))
+
+    def logpdf(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return np.asarray(stats.truncnorm.logpdf(arr, self._a, self._b,
+                                                 loc=self.mu, scale=self.sigma))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    def mean(self) -> float:
+        frozen = stats.truncnorm(self._a, self._b, loc=self.mu, scale=self.sigma)
+        return float(frozen.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TruncatedNormal(mu={self.mu}, sigma={self.sigma}, "
+                f"[{self.low}, {self.high}])")
+
+
+class Dirac(Distribution):
+    """Point mass — pins a parameter while keeping the prior interface."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def logpdf(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return np.where(arr == self.value, 0.0, -np.inf)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dirac({self.value})"
+
+
+class IndependentProduct:
+    """Independent product prior over named scalar parameters.
+
+    "In the absence of prior information, an independent product prior is
+    assumed for (theta, rho)" — section V-B.
+    """
+
+    def __init__(self, marginals: Mapping[str, Distribution]) -> None:
+        if not marginals:
+            raise ValueError("need at least one marginal")
+        self._marginals = dict(marginals)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._marginals)
+
+    def marginal(self, name: str) -> Distribution:
+        return self._marginals[name]
+
+    def sample(self, n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        """Draw ``n`` joint samples as a name-keyed dict of arrays."""
+        return {name: dist.sample(n, rng)
+                for name, dist in self._marginals.items()}
+
+    def logpdf(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Joint log-density of name-keyed value arrays."""
+        missing = set(self._marginals) - set(values)
+        if missing:
+            raise ValueError(f"missing values for parameters: {sorted(missing)}")
+        total: np.ndarray | None = None
+        for name, dist in self._marginals.items():
+            term = dist.logpdf(np.asarray(values[name]))
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._marginals.items())
+        return f"IndependentProduct({inner})"
+
+
+def paper_first_window_prior() -> IndependentProduct:
+    """The exact first-window prior of section V-B.
+
+    ``theta ~ Uniform(0.1, 0.5)``, ``rho ~ Beta(4, 1)``.
+    """
+    return IndependentProduct({"theta": Uniform(0.1, 0.5), "rho": Beta(4.0, 1.0)})

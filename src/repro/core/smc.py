@@ -1,0 +1,391 @@
+"""Sequential importance sampling calibrator (paper Algorithm 1 + eq. 5).
+
+The driver implements the paper's two-loop structure:
+
+* **outer loop** over calibration windows, moving the epidemic forward in
+  time and carrying posterior particles (with their checkpoints) from one
+  window to the next;
+* **inner loop** per window: sample parameters, simulate trajectories in
+  parallel, weight them against the window's observations, and resample.
+
+Window 1 draws ``n_parameter_draws`` parameter tuples from the prior and
+replicates each across a *common* seed set (``n_replicates`` trajectories per
+tuple, same seeds for every tuple — the paper's variance-control device).
+Every later window starts from the previous window's resampled posterior:
+each particle's parameters are jittered (symmetric uniform for theta,
+asymmetric for rho), its stored checkpoint is restarted with the overridden
+transmission rate and a fresh seed, and only the new window is simulated —
+the computational saving checkpointing buys (paper section III-B).
+
+Weights follow eq. (5): conditioned on a sample from the previous posterior,
+the incremental weight is the likelihood of the *new* window's observations
+alone.  Because the jittered draws constitute the next window's prior (the
+paper's construction), no proposal-density correction is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..data.sources import ObservationSet
+from ..hpc.executor import Executor, SerialExecutor
+from ..seir.checkpoint import Checkpoint
+from ..seir.model import StochasticSEIRModel
+from ..seir.outputs import Trajectory
+from ..seir.parameters import DiseaseParameters, ParameterOverride
+from ..seir.seeding import SeedSequenceBank
+from .diagnostics import WindowDiagnostics, compute_diagnostics
+from .observation import ObservationModel
+from .particle import Particle, ParticleEnsemble
+from .priors import IndependentProduct
+from .proposals import JointJitter
+from .resampling import get_resampler
+from .weights import normalize_log_weights
+from .window import TimeWindow, WindowSchedule
+
+__all__ = ["SMCConfig", "WindowResult", "SequentialCalibrator",
+           "BIAS_PARAM", "DEFAULT_PARAM_MAP"]
+
+#: Reserved name of the reporting-bias parameter in priors/jitters.
+BIAS_PARAM = "rho"
+
+#: Default mapping from prior parameter names to DiseaseParameters fields.
+DEFAULT_PARAM_MAP: dict[str, str] = {"theta": "transmission_rate"}
+
+# RNG stream purposes (see SeedSequenceBank.ancillary_generator).
+_PURPOSE_PRIOR = 0
+_PURPOSE_BIAS = 1
+_PURPOSE_RESAMPLE = 2
+_PURPOSE_JITTER = 3
+
+
+@dataclass(frozen=True)
+class SMCConfig:
+    """Tuning knobs of the sequential calibrator.
+
+    The paper-scale configuration is ``n_parameter_draws=25_000,
+    n_replicates=20, resample_size=10_000``; defaults here are laptop-scale
+    with identical algorithmic behaviour.
+    """
+
+    n_parameter_draws: int = 500
+    n_replicates: int = 5
+    resample_size: int = 500
+    n_continuations: int = 1
+    resampler: str = "multinomial"
+    engine: str = "binomial_leap"
+    engine_options: dict = field(default_factory=dict)
+    base_seed: int = 20240215
+    keep_weighted_ensemble: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("n_parameter_draws", "n_replicates", "resample_size",
+                     "n_continuations"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        get_resampler(self.resampler)  # validate eagerly
+
+    @property
+    def first_window_ensemble_size(self) -> int:
+        return self.n_parameter_draws * self.n_replicates
+
+    @property
+    def continuation_ensemble_size(self) -> int:
+        return self.resample_size * self.n_continuations
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Everything the calibrator records about one window.
+
+    Attributes
+    ----------
+    index:
+        Window index (0-based).
+    window:
+        The day range calibrated.
+    posterior:
+        Resampled, equally weighted posterior ensemble.
+    diagnostics:
+        Weight-degeneracy diagnostics of the pre-resampling ensemble.
+    weighted_ensemble:
+        The full weighted ensemble (kept only when
+        ``SMCConfig.keep_weighted_ensemble`` is set; memory-heavy).
+    """
+
+    index: int
+    window: TimeWindow
+    posterior: ParticleEnsemble
+    diagnostics: WindowDiagnostics
+    weighted_ensemble: ParticleEnsemble | None = None
+
+    def summary(self) -> dict:
+        """Posterior parameter summary used by benches and examples."""
+        out: dict = {"window": self.window.label(),
+                     "ess_fraction": self.diagnostics.ess_fraction}
+        for name in self.posterior.param_names:
+            lo50, hi50 = self.posterior.credible_interval(name, 0.5)
+            lo90, hi90 = self.posterior.credible_interval(name, 0.9)
+            out[name] = {
+                "mean": self.posterior.weighted_mean(name),
+                "median": float(self.posterior.weighted_quantile(name, 0.5)),
+                "ci50": (lo50, hi50),
+                "ci90": (lo90, hi90),
+            }
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Module-level simulation tasks (picklable for process pools).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _FirstWindowTask:
+    params_payload: dict
+    seed: int
+    end_day: int
+    start_day: int
+    engine: str
+    engine_options: dict
+
+
+def _run_first_window_task(task: _FirstWindowTask) -> tuple[Trajectory, dict]:
+    """Simulate day ``start_day`` .. ``end_day`` from scratch; checkpoint at end."""
+    params = DiseaseParameters.from_dict(task.params_payload)
+    model = StochasticSEIRModel(params, task.seed, engine=task.engine,
+                                **dict(task.engine_options))
+    trajectory = model.run_until(task.end_day)
+    return trajectory, model.checkpoint().to_dict()
+
+
+@dataclass(frozen=True)
+class _ContinuationTask:
+    checkpoint_payload: dict
+    override_payload: dict
+    end_day: int
+
+
+def _run_continuation_task(task: _ContinuationTask) -> tuple[Trajectory, dict]:
+    """Restart a checkpoint with overrides and simulate one window."""
+    checkpoint = Checkpoint.from_dict(task.checkpoint_payload)
+    override = ParameterOverride.from_dict(task.override_payload)
+    model = StochasticSEIRModel.from_checkpoint(checkpoint, override)
+    trajectory = model.run_until(task.end_day)
+    return trajectory, model.checkpoint().to_dict()
+
+
+# --------------------------------------------------------------------------- #
+class SequentialCalibrator:
+    """The paper's HPC-aware sequential calibration framework.
+
+    Parameters
+    ----------
+    base_params:
+        Disease parameterisation; fields named in ``param_map`` are
+        overridden per particle.
+    prior:
+        First-window joint prior.  Must contain :data:`BIAS_PARAM` (rho) and
+        every key of ``param_map``.
+    jitter:
+        Window-to-window proposal kernels for the same parameter names.
+    observation_model:
+        Bias + likelihood configuration per observed stream.
+    schedule:
+        Calibration windows (plus burn-in start).
+    config:
+        Ensemble sizes and algorithmic switches.
+    executor:
+        Parallel map backend; defaults to serial.
+    param_map:
+        Mapping from prior parameter names to ``DiseaseParameters`` fields.
+        Every mapped field must be one of the six checkpoint-restart knobs
+        (the paper's contract); rho is handled by the observation model and
+        must not be mapped.
+    progress:
+        Optional callback ``progress(message: str)`` for run logging.
+    """
+
+    def __init__(self, base_params: DiseaseParameters,
+                 prior: IndependentProduct,
+                 jitter: JointJitter,
+                 observation_model: ObservationModel,
+                 schedule: WindowSchedule,
+                 config: SMCConfig | None = None,
+                 executor: Executor | None = None,
+                 param_map: Mapping[str, str] | None = None,
+                 progress: Callable[[str], None] | None = None) -> None:
+        self.base_params = base_params
+        self.prior = prior
+        self.jitter = jitter
+        self.observation_model = observation_model
+        self.schedule = schedule
+        self.config = config or SMCConfig()
+        self.executor = executor or SerialExecutor()
+        self.param_map = dict(param_map or DEFAULT_PARAM_MAP)
+        self._progress = progress or (lambda _msg: None)
+        self._bank = SeedSequenceBank(self.config.base_seed)
+        self._validate()
+
+    def _validate(self) -> None:
+        prior_names = set(self.prior.names)
+        if BIAS_PARAM not in prior_names:
+            raise ValueError(f"prior must include the bias parameter {BIAS_PARAM!r}")
+        if BIAS_PARAM in self.param_map:
+            raise ValueError(f"{BIAS_PARAM!r} is the observation-bias parameter "
+                             "and cannot be mapped to a simulator field")
+        unknown = set(self.param_map) - prior_names
+        if unknown:
+            raise ValueError(f"param_map names missing from prior: {sorted(unknown)}")
+        allowed_fields = set(ParameterOverride._PARAM_FIELDS)
+        bad = {f for f in self.param_map.values() if f not in allowed_fields}
+        if bad:
+            raise ValueError(
+                f"param_map targets {sorted(bad)} are not checkpoint-restartable; "
+                f"the paper allows only {sorted(allowed_fields)}")
+        jitter_names = set(self.jitter.names)
+        needed = (prior_names if len(self.schedule) > 1 else set())
+        if needed and needed - jitter_names:
+            raise ValueError(
+                f"jitter kernels missing for parameters: {sorted(needed - jitter_names)}")
+
+    # ------------------------------------------------------------------ #
+    def run(self, observations: ObservationSet) -> list[WindowResult]:
+        """Calibrate every window in the schedule against ``observations``."""
+        self._check_coverage(observations)
+        results: list[WindowResult] = []
+        posterior: ParticleEnsemble | None = None
+        for index, window in enumerate(self.schedule):
+            if index == 0:
+                ensemble = self._first_window_ensemble(window)
+            else:
+                assert posterior is not None
+                ensemble = self._continuation_ensemble(window, index, posterior)
+            result = self._weigh_and_resample(index, window, ensemble, observations)
+            posterior = result.posterior
+            self._progress(
+                f"window {index} ({window.label()}): "
+                f"ESS {result.diagnostics.ess:.1f}/{result.diagnostics.n_particles}")
+            results.append(result)
+        return results
+
+    def _check_coverage(self, observations: ObservationSet) -> None:
+        if observations.start_day > self.schedule.start_day or \
+                observations.end_day < self.schedule.end_day:
+            raise ValueError(
+                f"observations cover days [{observations.start_day}, "
+                f"{observations.end_day}) but the schedule needs "
+                f"[{self.schedule.start_day}, {self.schedule.end_day})")
+
+    # ------------------------------------------------------------------ #
+    def _params_for_draw(self, draw: Mapping[str, float]) -> DiseaseParameters:
+        updates = {fld: float(draw[name]) for name, fld in self.param_map.items()}
+        return self.base_params.with_updates(**updates)
+
+    def _first_window_ensemble(self, window: TimeWindow) -> ParticleEnsemble:
+        cfg = self.config
+        rng_prior = self._bank.ancillary_generator(_PURPOSE_PRIOR)
+        draws = self.prior.sample(cfg.n_parameter_draws, rng_prior)
+        seeds = self._bank.common_replicate_seeds(cfg.n_replicates)
+
+        tasks = []
+        meta = []  # (draw_index, seed)
+        for i in range(cfg.n_parameter_draws):
+            draw = {name: float(draws[name][i]) for name in self.prior.names}
+            payload = self._params_for_draw(draw).to_dict()
+            for seed in seeds:
+                tasks.append(_FirstWindowTask(
+                    params_payload=payload, seed=seed,
+                    end_day=window.end_day,
+                    start_day=self.schedule.burn_in_start,
+                    engine=cfg.engine,
+                    engine_options=dict(cfg.engine_options)))
+                meta.append((i, seed))
+        self._progress(f"window 0: simulating {len(tasks)} prior trajectories")
+        outputs = self.executor.map(_run_first_window_task, tasks)
+
+        particles = []
+        for (i, seed), (trajectory, cp_payload) in zip(meta, outputs):
+            params = {name: float(draws[name][i]) for name in self.prior.names}
+            particles.append(Particle(
+                params=params, seed=seed,
+                segment=trajectory.window(window.start_day, window.end_day),
+                history=trajectory,
+                checkpoint=Checkpoint.from_dict(cp_payload)))
+        return ParticleEnsemble(particles)
+
+    def _continuation_ensemble(self, window: TimeWindow, index: int,
+                               posterior: ParticleEnsemble) -> ParticleEnsemble:
+        cfg = self.config
+        rng_jitter = self._bank.ancillary_generator(_PURPOSE_JITTER)
+        centers = {name: posterior.values(name) for name in self.prior.names}
+
+        tasks = []
+        proposed_params: list[dict[str, float]] = []
+        seeds: list[int] = []
+        parents: list[Particle] = []
+        for c in range(cfg.n_continuations):
+            proposal = self.jitter.propose(centers, rng_jitter)
+            for j, parent in enumerate(posterior):
+                draw = {name: float(proposal[name][j]) for name in self.prior.names}
+                seed = self._bank.window_restart_seed(
+                    parent.seed, index, j + c * len(posterior))
+                override: dict = {"seed": seed}
+                override.update({fld: draw[name]
+                                 for name, fld in self.param_map.items()})
+                assert parent.checkpoint is not None
+                tasks.append(_ContinuationTask(
+                    checkpoint_payload=parent.checkpoint.to_dict(),
+                    override_payload=override,
+                    end_day=window.end_day))
+                proposed_params.append(draw)
+                seeds.append(seed)
+                parents.append(parent)
+        self._progress(
+            f"window {index}: restarting {len(tasks)} checkpoints "
+            f"({window.label()})")
+        outputs = self.executor.map(_run_continuation_task, tasks)
+
+        particles = []
+        for draw, seed, parent, (segment, cp_payload) in zip(
+                proposed_params, seeds, parents, outputs):
+            history = parent.history.extended_by(segment) \
+                if parent.history is not None else segment
+            particles.append(Particle(
+                params=draw, seed=seed, segment=segment, history=history,
+                checkpoint=Checkpoint.from_dict(cp_payload)))
+        return ParticleEnsemble(particles)
+
+    # ------------------------------------------------------------------ #
+    def _weigh_and_resample(self, index: int, window: TimeWindow,
+                            ensemble: ParticleEnsemble,
+                            observations: ObservationSet) -> WindowResult:
+        cfg = self.config
+        window_obs = observations.window(window.start_day, window.end_day)
+        rng_bias = self._bank.ancillary_generator(_PURPOSE_BIAS)
+
+        log_weights = np.empty(len(ensemble))
+        weighted = []
+        for i, particle in enumerate(ensemble):
+            assert particle.segment is not None
+            ll = self.observation_model.loglik(
+                window_obs, particle.segment, particle.params[BIAS_PARAM],
+                rng_bias)
+            log_weights[i] = ll
+            weighted.append(particle.with_weight(ll))
+        weighted_ensemble = ParticleEnsemble(weighted)
+
+        normalized = normalize_log_weights(log_weights)
+        resampler = get_resampler(cfg.resampler)
+        rng_resample = self._bank.ancillary_generator(_PURPOSE_RESAMPLE)
+        indices = resampler(normalized, cfg.resample_size, rng_resample)
+        posterior = weighted_ensemble.select(indices)
+
+        diagnostics = compute_diagnostics(log_weights, normalized,
+                                          posterior.unique_ancestors())
+        return WindowResult(
+            index=index, window=window, posterior=posterior,
+            diagnostics=diagnostics,
+            weighted_ensemble=weighted_ensemble
+            if cfg.keep_weighted_ensemble else None)

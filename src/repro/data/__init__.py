@@ -1,0 +1,18 @@
+"""Data substrate: time series, schedules, observation streams, synthesis."""
+
+from .loaders import (load_series_csv, load_wide_csv,
+                      observation_set_from_csv)
+from .schedule import FIG2_RHO_SCHEDULE, FIG2_THETA_SCHEDULE, PiecewiseConstant
+from .series import TimeSeries, align, concat
+from .sources import (CASES, DEATHS, HOSPITAL_CENSUS, ICU_CENSUS,
+                      ObservationSet, ObservationSource)
+from .synthetic import binomial_thin, make_observed_series, mean_thin
+
+__all__ = [
+    "TimeSeries", "align", "concat",
+    "PiecewiseConstant", "FIG2_THETA_SCHEDULE", "FIG2_RHO_SCHEDULE",
+    "ObservationSource", "ObservationSet",
+    "CASES", "DEATHS", "HOSPITAL_CENSUS", "ICU_CENSUS",
+    "binomial_thin", "mean_thin", "make_observed_series",
+    "load_series_csv", "load_wide_csv", "observation_set_from_csv",
+]

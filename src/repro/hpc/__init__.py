@@ -1,0 +1,25 @@
+"""HPC execution substrate: executors, MPI-like collectives, partitioning."""
+
+from .checkpoint_io import CheckpointStore, StoreManifest
+from .executor import (Executor, ProcessExecutor, SerialExecutor,
+                       ThreadExecutor, default_executor, make_executor)
+from .mpi_like import REDUCE_OPS, MpiLikeComm, SpmdError, run_spmd
+from .partition import (block_partition, chunk_sizes, cyclic_partition,
+                        lpt_partition, partition_bounds)
+from .reduce import (allreduce_sum, logsumexp_pair, merge_logsumexp,
+                     merge_weighted_mean, tree_reduce)
+from .scheduler import (ScheduleResult, compare_policies, simulate_static,
+                        simulate_work_stealing)
+
+__all__ = [
+    "Executor", "SerialExecutor", "ProcessExecutor", "ThreadExecutor",
+    "default_executor", "make_executor",
+    "MpiLikeComm", "run_spmd", "SpmdError", "REDUCE_OPS",
+    "block_partition", "cyclic_partition", "chunk_sizes",
+    "lpt_partition", "partition_bounds",
+    "tree_reduce", "logsumexp_pair", "merge_logsumexp",
+    "merge_weighted_mean", "allreduce_sum",
+    "ScheduleResult", "simulate_static", "simulate_work_stealing",
+    "compare_policies",
+    "CheckpointStore", "StoreManifest",
+]

@@ -1,0 +1,148 @@
+"""Parallel checkpoint storage: per-rank files plus a run manifest.
+
+The paper checkpoints every posterior trajectory between calibration windows.
+At HPC scale that is thousands of snapshot files per window, written
+concurrently.  :class:`CheckpointStore` provides the directory layout,
+atomic per-particle writes (safe under concurrent writers on a shared file
+system), a JSON manifest for restart discovery, and bulk load of a window's
+particle population.
+
+Layout::
+
+    <root>/
+      manifest.json
+      window_000/
+        particle_000000.ckpt.json
+        particle_000001.ckpt.json
+        ...
+      window_001/
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..seir.checkpoint import Checkpoint, CheckpointError
+
+__all__ = ["CheckpointStore", "StoreManifest"]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Summary of what a checkpoint store currently contains."""
+
+    run_id: str
+    windows: dict[int, int]
+    """Mapping window index -> number of particles stored."""
+
+    def latest_window(self) -> int | None:
+        return max(self.windows) if self.windows else None
+
+    def to_dict(self) -> dict:
+        return {"run_id": self.run_id,
+                "windows": {str(k): v for k, v in self.windows.items()}}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StoreManifest":
+        return cls(run_id=str(d.get("run_id", "")),
+                   windows={int(k): int(v)
+                            for k, v in dict(d.get("windows", {})).items()})
+
+
+class CheckpointStore:
+    """File-backed store of per-particle checkpoints, grouped by window."""
+
+    def __init__(self, root: str | os.PathLike, run_id: str = "run") -> None:
+        self._root = Path(root)
+        self._run_id = str(run_id)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def run_id(self) -> str:
+        return self._run_id
+
+    # ------------------------------------------------------------------ #
+    def _window_dir(self, window_index: int) -> Path:
+        if window_index < 0:
+            raise ValueError("window_index must be >= 0")
+        return self._root / f"window_{window_index:03d}"
+
+    def _particle_path(self, window_index: int, particle_index: int) -> Path:
+        if particle_index < 0:
+            raise ValueError("particle_index must be >= 0")
+        return self._window_dir(window_index) / f"particle_{particle_index:06d}.ckpt.json"
+
+    def save(self, window_index: int, particle_index: int,
+             checkpoint: Checkpoint) -> Path:
+        """Atomically persist one particle checkpoint."""
+        path = self._particle_path(window_index, particle_index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        checkpoint.save(path)
+        return path
+
+    def save_window(self, window_index: int, checkpoints: list[Checkpoint]) -> None:
+        """Persist a window's population and refresh the manifest."""
+        for i, cp in enumerate(checkpoints):
+            self.save(window_index, i, cp)
+        self.write_manifest()
+
+    def load(self, window_index: int, particle_index: int) -> Checkpoint:
+        path = self._particle_path(window_index, particle_index)
+        if not path.exists():
+            raise CheckpointError(f"missing checkpoint {path}")
+        return Checkpoint.load(path)
+
+    def load_window(self, window_index: int) -> list[Checkpoint]:
+        """Load all checkpoints of a window, ordered by particle index."""
+        directory = self._window_dir(window_index)
+        if not directory.is_dir():
+            raise CheckpointError(f"no checkpoints stored for window {window_index}")
+        paths = sorted(directory.glob("particle_*.ckpt.json"))
+        return [Checkpoint.load(p) for p in paths]
+
+    def particle_count(self, window_index: int) -> int:
+        directory = self._window_dir(window_index)
+        if not directory.is_dir():
+            return 0
+        return len(list(directory.glob("particle_*.ckpt.json")))
+
+    # ------------------------------------------------------------------ #
+    def write_manifest(self) -> StoreManifest:
+        """Scan the store and atomically rewrite the manifest."""
+        windows: dict[int, int] = {}
+        for child in sorted(self._root.glob("window_*")):
+            if child.is_dir():
+                index = int(child.name.split("_", 1)[1])
+                windows[index] = len(list(child.glob("particle_*.ckpt.json")))
+        manifest = StoreManifest(run_id=self._run_id, windows=windows)
+        fd, tmp = tempfile.mkstemp(dir=self._root, suffix=".manifest.tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(manifest.to_dict(), fh)
+        os.replace(tmp, self._root / _MANIFEST_NAME)
+        return manifest
+
+    def read_manifest(self) -> StoreManifest:
+        path = self._root / _MANIFEST_NAME
+        if not path.exists():
+            return StoreManifest(run_id=self._run_id, windows={})
+        with open(path) as fh:
+            return StoreManifest.from_dict(json.load(fh))
+
+    def latest_restart_point(self) -> tuple[int, list[Checkpoint]] | None:
+        """Most recent complete window for resuming an interrupted run."""
+        manifest = self.write_manifest()
+        latest = manifest.latest_window()
+        if latest is None:
+            return None
+        return latest, self.load_window(latest)

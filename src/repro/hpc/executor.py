@@ -1,0 +1,175 @@
+"""Execution backends for embarrassingly parallel simulation ensembles.
+
+The paper's framework "is designed to exploit the concurrency provided by HPC
+resources" (section I): every prior draw's simulation is independent, so the
+ensemble step is a parallel map.  The SMC driver is written once against the
+:class:`Executor` protocol; backends provide serial execution (tests,
+debugging), process pools (multi-core laptops / single cluster nodes), and
+thread pools (useful when the mapped function releases the GIL).
+
+An mpi4py-backed executor would satisfy the same protocol via
+``MPIPoolExecutor.map``; the adapter seam is documented in DESIGN.md.  The
+in-repo MPI-style communicator lives in :mod:`repro.hpc.mpi_like`.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "ThreadExecutor",
+           "default_executor", "make_executor"]
+
+
+class Executor(ABC):
+    """Minimal parallel-map protocol used by the calibration driver.
+
+    Implementations must preserve input order in the returned list and
+    propagate worker exceptions to the caller.
+    """
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every task, returning results in task order."""
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Degree of parallelism (1 for serial)."""
+
+    def close(self) -> None:
+        """Release backend resources; idempotent.  Default: nothing to do."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process, single-threaded execution (deterministic, debuggable)."""
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        return [fn(t) for t in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+def _auto_chunksize(n_tasks: int, n_workers: int) -> int:
+    """Chunk so each worker receives a handful of batches.
+
+    Large chunks amortise pickling overhead (simulation tasks are small
+    payloads but numerous); a factor-of-4 oversubscription keeps the pool
+    load-balanced when task durations vary with epidemic size.
+    """
+    return max(1, n_tasks // (n_workers * 4))
+
+
+class ProcessExecutor(Executor):
+    """``concurrent.futures.ProcessPoolExecutor`` with sensible chunking.
+
+    The mapped function and task payloads must be picklable, which is why
+    every simulation task in :mod:`repro.sim` is a module-level function fed
+    with plain tuples/dicts.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 chunksize: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._chunksize = chunksize
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        task_list: Sequence[Any] = list(tasks)
+        if not task_list:
+            return []
+        chunk = self._chunksize or _auto_chunksize(len(task_list), self._max_workers)
+        pool = self._ensure_pool()
+        return list(pool.map(fn, task_list, chunksize=chunk))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(max_workers={self._max_workers})"
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution.
+
+    numpy's binomial/multinomial samplers hold the GIL, so this backend only
+    pays off for I/O-bound tasks (checkpoint writes); it mainly exists so the
+    executor matrix in the scaling bench can show *why* process pools are the
+    right backend for this workload.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers or (os.cpu_count() or 1)
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._max_workers
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return list(self._pool.map(fn, task_list))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadExecutor(max_workers={self._max_workers})"
+
+
+def default_executor(n_tasks_hint: int | None = None) -> Executor:
+    """Pick a backend for this machine.
+
+    Serial for tiny workloads (pool startup costs more than it saves),
+    otherwise a process pool over the available cores.
+    """
+    cores = os.cpu_count() or 1
+    if cores == 1 or (n_tasks_hint is not None and n_tasks_hint < 32):
+        return SerialExecutor()
+    return ProcessExecutor(max_workers=cores)
+
+
+def make_executor(spec: str, max_workers: int | None = None) -> Executor:
+    """Build an executor from a config string (``serial``/``process``/``thread``)."""
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    if spec == "thread":
+        return ThreadExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor spec {spec!r}; "
+                     "expected 'serial', 'process', or 'thread'")

@@ -1,0 +1,250 @@
+"""MPI-style SPMD execution on local processes.
+
+The paper runs its ensembles on Argonne cluster resources; this module
+substitutes a local, dependency-free stand-in that preserves the programming
+model: a function ``f(comm, *args)`` is launched on ``size`` ranks, each a
+separate OS process, communicating through collective operations with MPI
+semantics (``bcast``, ``scatter``, ``gather``, ``allgather``, ``allreduce``,
+``barrier``).  Code written against :class:`MpiLikeComm` maps line-for-line
+onto ``mpi4py.MPI.Comm`` (lowercase, pickle-based object API) — the adapter
+needed to run on a real cluster is a constructor swap.
+
+Implementation: a coordinator thread in the parent process services one
+collective at a time.  Every rank posts ``(generation, rank, op, payload)``
+to a shared request queue; once all ``size`` requests for a generation have
+arrived the coordinator validates that ranks agree on the operation
+(mismatched collectives — a classic MPI deadlock — raise immediately instead
+of hanging) and posts each rank's response to its private queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import Any, Callable, Sequence
+
+from .reduce import logsumexp_pair
+
+__all__ = ["MpiLikeComm", "run_spmd", "SpmdError", "REDUCE_OPS"]
+
+_DEFAULT_TIMEOUT = 120.0
+
+#: Reduction operators available to :meth:`MpiLikeComm.allreduce`.
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+    "logsumexp": logsumexp_pair,
+}
+
+
+class SpmdError(RuntimeError):
+    """A rank raised, or ranks disagreed on the collective being executed."""
+
+
+class MpiLikeComm:
+    """Rank-side communicator handle (constructed by :func:`run_spmd`)."""
+
+    def __init__(self, rank: int, size: int, request_queue: "mp.Queue",
+                 response_queue: "mp.Queue", timeout: float = _DEFAULT_TIMEOUT) -> None:
+        self._rank = int(rank)
+        self._size = int(size)
+        self._requests = request_queue
+        self._responses = response_queue
+        self._generation = 0
+        self._timeout = timeout
+
+    @property
+    def rank(self) -> int:
+        """This process's rank in ``[0, size)``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    def _collective(self, op: str, payload: Any) -> Any:
+        self._generation += 1
+        self._requests.put((self._generation, self._rank, op, payload))
+        kind, value = self._responses.get(timeout=self._timeout)
+        if kind == "error":
+            raise SpmdError(value)
+        return value
+
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self._collective("barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; returns the root's object everywhere."""
+        self._check_root(root)
+        return self._collective("bcast", {"root": root, "obj": obj})
+
+    def scatter(self, chunks: Sequence[Any] | None, root: int = 0) -> Any:
+        """Distribute ``chunks[i]`` to rank ``i``.
+
+        ``chunks`` must have exactly ``size`` entries on the root and is
+        ignored elsewhere (pass ``None`` by convention).
+        """
+        self._check_root(root)
+        if self._rank == root:
+            if chunks is None or len(chunks) != self._size:
+                raise ValueError(
+                    f"scatter on root needs exactly {self._size} chunks")
+            payload = {"root": root, "chunks": list(chunks)}
+        else:
+            payload = {"root": root, "chunks": None}
+        return self._collective("scatter", payload)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Collect every rank's object on ``root`` (rank order); None elsewhere."""
+        self._check_root(root)
+        return self._collective("gather", {"root": root, "obj": obj})
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Collect every rank's object on *all* ranks (rank order)."""
+        return self._collective("allgather", {"obj": obj})
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce values across ranks with ``op``; result on all ranks.
+
+        ``op`` is one of :data:`REDUCE_OPS` (includes ``logsumexp`` for
+        distributed weight normalisation).
+        """
+        if op not in REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}; choose from {sorted(REDUCE_OPS)}")
+        return self._collective("allreduce", {"op": op, "value": value})
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self._size:
+            raise ValueError(f"root {root} out of range for size {self._size}")
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator (parent side)
+# --------------------------------------------------------------------------- #
+def _coordinate(size: int, request_queue: "mp.Queue",
+                response_queues: list["mp.Queue"], timeout: float) -> None:
+    """Service collectives until every rank has sent its 'done' message."""
+    finished = 0
+    pending: dict[int, dict[int, tuple[str, Any]]] = {}
+    while finished < size:
+        generation, rank, op, payload = request_queue.get(timeout=timeout)
+        if op == "done":
+            finished += 1
+            continue
+        slot = pending.setdefault(generation, {})
+        slot[rank] = (op, payload)
+        if len(slot) < size:
+            continue
+        del pending[generation]
+        ops = {entry[0] for entry in slot.values()}
+        if len(ops) != 1:
+            message = f"ranks disagree on collective at generation {generation}: {sorted(ops)}"
+            for q in response_queues:
+                q.put(("error", message))
+            continue
+        try:
+            results = _execute_collective(op, slot, size)
+        except Exception as exc:  # propagate to all ranks, keep serving
+            for q in response_queues:
+                q.put(("error", f"collective {op!r} failed: {exc}"))
+            continue
+        for r in range(size):
+            response_queues[r].put(("ok", results[r]))
+
+
+def _execute_collective(op: str, slot: dict[int, tuple[str, Any]],
+                        size: int) -> list[Any]:
+    payloads = {rank: payload for rank, (_, payload) in slot.items()}
+    if op == "barrier":
+        return [None] * size
+    if op == "bcast":
+        root = payloads[0]["root"]
+        obj = payloads[root]["obj"]
+        return [obj] * size
+    if op == "scatter":
+        root = payloads[0]["root"]
+        chunks = payloads[root]["chunks"]
+        if chunks is None or len(chunks) != size:
+            raise ValueError("scatter root did not supply one chunk per rank")
+        return [chunks[r] for r in range(size)]
+    if op == "gather":
+        root = payloads[0]["root"]
+        gathered = [payloads[r]["obj"] for r in range(size)]
+        return [gathered if r == root else None for r in range(size)]
+    if op == "allgather":
+        gathered = [payloads[r]["obj"] for r in range(size)]
+        return [list(gathered) for _ in range(size)]
+    if op == "allreduce":
+        name = payloads[0]["op"]
+        reducer = REDUCE_OPS[name]
+        values = [payloads[r]["value"] for r in range(size)]
+        acc = values[0]
+        for v in values[1:]:
+            acc = reducer(acc, v)
+        return [acc] * size
+    raise ValueError(f"unknown collective {op!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Worker (child side)
+# --------------------------------------------------------------------------- #
+def _worker_main(fn: Callable, rank: int, size: int, args: tuple,
+                 request_queue: "mp.Queue", response_queue: "mp.Queue",
+                 result_queue: "mp.Queue", timeout: float) -> None:
+    comm = MpiLikeComm(rank, size, request_queue, response_queue, timeout)
+    try:
+        result = fn(comm, *args)
+        result_queue.put((rank, "ok", result))
+    except BaseException:
+        result_queue.put((rank, "error", traceback.format_exc()))
+    finally:
+        request_queue.put((-1, rank, "done", None))
+
+
+def run_spmd(fn: Callable, size: int, args: tuple = (),
+             timeout: float = _DEFAULT_TIMEOUT) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` ranks; return per-rank results.
+
+    ``fn`` must be defined at module level (it is pickled to worker
+    processes).  Raises :class:`SpmdError` if any rank raises.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    ctx = mp.get_context("spawn" if mp.get_start_method(allow_none=True) == "spawn"
+                         else "fork")
+    request_queue: mp.Queue = ctx.Queue()
+    response_queues: list[mp.Queue] = [ctx.Queue() for _ in range(size)]
+    result_queue: mp.Queue = ctx.Queue()
+
+    procs = [
+        ctx.Process(target=_worker_main,
+                    args=(fn, rank, size, tuple(args), request_queue,
+                          response_queues[rank], result_queue, timeout),
+                    daemon=True)
+        for rank in range(size)
+    ]
+    for p in procs:
+        p.start()
+    try:
+        _coordinate(size, request_queue, response_queues, timeout)
+        results: dict[int, Any] = {}
+        errors: list[str] = []
+        for _ in range(size):
+            rank, status, value = result_queue.get(timeout=timeout)
+            if status == "error":
+                errors.append(f"rank {rank}:\n{value}")
+            else:
+                results[rank] = value
+        if errors:
+            raise SpmdError("\n".join(errors))
+        return [results[r] for r in range(size)]
+    finally:
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():  # pragma: no cover - defensive cleanup
+                p.terminate()

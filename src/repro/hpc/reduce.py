@@ -1,0 +1,81 @@
+"""Reduction utilities for combining per-rank results.
+
+In a distributed run of the framework each rank computes the log-weights of
+its particle block; normalising the weights requires a global log-sum-exp
+reduction.  These helpers implement numerically stable streaming/tree
+combinations so rank-local partial results can be merged in any association
+order (the invariant the property tests check).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["tree_reduce", "logsumexp_pair", "merge_logsumexp",
+           "merge_weighted_mean", "allreduce_sum"]
+
+T = TypeVar("T")
+
+
+def tree_reduce(items: Sequence[T], op: Callable[[T, T], T]) -> T:
+    """Pairwise (binary-tree) reduction of a non-empty sequence.
+
+    For an associative ``op`` this matches the result of a left fold but has
+    O(log n) depth — the shape an ``MPI_Reduce`` performs across ranks.
+    """
+    values = list(items)
+    if not values:
+        raise ValueError("cannot reduce an empty sequence")
+    while len(values) > 1:
+        merged = [op(values[i], values[i + 1])
+                  for i in range(0, len(values) - 1, 2)]
+        if len(values) % 2:
+            merged.append(values[-1])
+        values = merged
+    return values[0]
+
+
+def logsumexp_pair(a: float, b: float) -> float:
+    """Stable ``log(exp(a) + exp(b))`` handling ``-inf`` identities."""
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def merge_logsumexp(partials: Sequence[float]) -> float:
+    """Tree-combine per-rank ``logsumexp`` partial results."""
+    return tree_reduce(list(partials), logsumexp_pair)
+
+
+def merge_weighted_mean(partials: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """Combine per-rank ``(weight_total, weighted_mean)`` pairs.
+
+    Returns the global ``(weight_total, weighted_mean)``; the merge is
+    associative and commutative, so any reduction tree gives one answer.
+    """
+    def op(x: tuple[float, float], y: tuple[float, float]) -> tuple[float, float]:
+        wx, mx = x
+        wy, my = y
+        w = wx + wy
+        if w == 0.0:
+            return (0.0, 0.0)
+        return (w, (wx * mx + wy * my) / w)
+
+    return tree_reduce(list(partials), op)
+
+
+def allreduce_sum(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Elementwise tree-sum of equal-shape arrays (an ``MPI_Allreduce``)."""
+    if not arrays:
+        raise ValueError("cannot reduce an empty sequence")
+    shape = np.asarray(arrays[0]).shape
+    for a in arrays:
+        if np.asarray(a).shape != shape:
+            raise ValueError("allreduce_sum requires equal-shape arrays")
+    return tree_reduce([np.asarray(a, dtype=np.float64) for a in arrays], np.add)

@@ -1,0 +1,13 @@
+"""High-level inference API: configure, calibrate, forecast."""
+
+from .api import calibrate
+from .config import CalibrationConfig, paper_calibration_config
+from .forecast import Forecast, forecast_from_posterior
+from .results import CalibrationResult, ParameterTrack
+
+__all__ = [
+    "calibrate",
+    "CalibrationConfig", "paper_calibration_config",
+    "CalibrationResult", "ParameterTrack",
+    "Forecast", "forecast_from_posterior",
+]

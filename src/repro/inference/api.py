@@ -1,0 +1,78 @@
+"""Top-level convenience API: ``calibrate()`` in one call.
+
+Wires a :class:`~repro.inference.config.CalibrationConfig` into the core
+:class:`~repro.core.smc.SequentialCalibrator` and wraps the outcome in a
+:class:`~repro.inference.results.CalibrationResult`.  This is the function
+the examples and benches use; power users can assemble the core objects
+directly for full control.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.smc import SequentialCalibrator
+from ..data.sources import ObservationSet
+from ..hpc.executor import Executor
+from ..seir.parameters import DiseaseParameters
+from .config import CalibrationConfig
+from .results import CalibrationResult
+
+__all__ = ["calibrate"]
+
+
+def calibrate(observations: ObservationSet,
+              config: CalibrationConfig | None = None,
+              base_params: DiseaseParameters | None = None,
+              executor: Executor | None = None,
+              verbose: bool = False) -> CalibrationResult:
+    """Run the paper's sequential calibration against observed data streams.
+
+    Parameters
+    ----------
+    observations:
+        The observed streams (cases, optionally deaths) covering every
+        calibration window of the config's schedule.
+    config:
+        Run configuration; defaults to the paper's settings at laptop scale.
+    base_params:
+        Disease parameterisation; config ``disease_overrides`` are applied
+        on top.
+    executor:
+        Overrides the executor named in the config (useful for injecting a
+        shared pool across several runs).
+    verbose:
+        Print per-window progress lines.
+
+    Returns
+    -------
+    CalibrationResult
+        Per-window posteriors, diagnostics, and figure-regeneration helpers.
+    """
+    config = config or CalibrationConfig()
+    params = config.disease_params(base_params)
+    own_executor = executor is None
+    exec_backend = executor if executor is not None else config.make_executor()
+    progress = print if verbose else None
+
+    calibrator = SequentialCalibrator(
+        base_params=params,
+        prior=config.prior(),
+        jitter=config.jitter(),
+        observation_model=config.observation_model(),
+        schedule=config.schedule(),
+        config=config.smc_config(),
+        executor=exec_backend,
+        progress=progress,
+    )
+    started = time.perf_counter()
+    try:
+        window_results = calibrator.run(observations)
+    finally:
+        if own_executor:
+            exec_backend.close()
+    elapsed = time.perf_counter() - started
+    return CalibrationResult(schedule=config.schedule(),
+                             windows=tuple(window_results),
+                             config_payload=config.to_dict(),
+                             wall_time_seconds=elapsed)

@@ -1,0 +1,140 @@
+"""High-level calibration configuration.
+
+:class:`CalibrationConfig` gathers everything a run needs into one
+JSON-serialisable object: ensemble sizes, window schedule, prior and jitter
+hyper-parameters, likelihood noise, executor choice.  It builds the core
+objects (:class:`~repro.core.smc.SMCConfig`, priors, jitters, observation
+model) on demand, so scripts and benches configure runs declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..core.observation import ObservationModel, paper_observation_model
+from ..core.priors import Beta, IndependentProduct, Uniform
+from ..core.proposals import JointJitter, paper_window_jitter
+from ..core.smc import SMCConfig
+from ..core.window import WindowSchedule
+from ..hpc.executor import Executor, make_executor
+from ..seir.parameters import DiseaseParameters
+
+__all__ = ["CalibrationConfig", "paper_calibration_config"]
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Declarative configuration of one sequential calibration run.
+
+    Attributes mirror section V of the paper; see
+    :func:`paper_calibration_config` for the paper's exact settings at
+    laptop scale.
+    """
+
+    window_breaks: tuple[int, ...] = (20, 34, 48, 62, 76)
+    burn_in_start: int = 0
+
+    n_parameter_draws: int = 500
+    n_replicates: int = 5
+    resample_size: int = 500
+    n_continuations: int = 1
+
+    theta_prior_low: float = 0.1
+    theta_prior_high: float = 0.5
+    rho_prior_a: float = 4.0
+    rho_prior_b: float = 1.0
+
+    theta_jitter_width: float = 0.05
+    rho_jitter_width: float = 0.02
+    rho_jitter_skew: float = 3.0
+
+    sigma: float = 1.0
+    bias_mode: str = "sample"
+    resampler: str = "multinomial"
+    engine: str = "binomial_leap"
+    steps_per_day: int = 4
+
+    executor: str = "serial"
+    max_workers: int | None = None
+
+    base_seed: int = 20240215
+    keep_weighted_ensemble: bool = False
+
+    disease_overrides: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def schedule(self) -> WindowSchedule:
+        return WindowSchedule.from_breaks(list(self.window_breaks),
+                                          burn_in_start=self.burn_in_start)
+
+    def prior(self) -> IndependentProduct:
+        return IndependentProduct({
+            "theta": Uniform(self.theta_prior_low, self.theta_prior_high),
+            "rho": Beta(self.rho_prior_a, self.rho_prior_b),
+        })
+
+    def jitter(self) -> JointJitter:
+        return paper_window_jitter(theta_width=self.theta_jitter_width,
+                                   rho_width=self.rho_jitter_width,
+                                   rho_skew=self.rho_jitter_skew)
+
+    def observation_model(self) -> ObservationModel:
+        return paper_observation_model(sigma=self.sigma,
+                                       bias_mode=self.bias_mode)
+
+    def smc_config(self) -> SMCConfig:
+        return SMCConfig(
+            n_parameter_draws=self.n_parameter_draws,
+            n_replicates=self.n_replicates,
+            resample_size=self.resample_size,
+            n_continuations=self.n_continuations,
+            resampler=self.resampler,
+            engine=self.engine,
+            engine_options=({"steps_per_day": self.steps_per_day}
+                            if self.engine == "binomial_leap" else {}),
+            base_seed=self.base_seed,
+            keep_weighted_ensemble=self.keep_weighted_ensemble,
+        )
+
+    def make_executor(self) -> Executor:
+        return make_executor(self.executor, max_workers=self.max_workers)
+
+    def disease_params(self, base: DiseaseParameters | None = None,
+                       ) -> DiseaseParameters:
+        params = base if base is not None else DiseaseParameters()
+        if self.disease_overrides:
+            params = params.with_updates(**self.disease_overrides)
+        return params
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["window_breaks"] = list(self.window_breaks)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CalibrationConfig":
+        payload = dict(d)
+        if "window_breaks" in payload:
+            payload["window_breaks"] = tuple(payload["window_breaks"])
+        return cls(**payload)
+
+    def scaled(self, factor: float) -> "CalibrationConfig":
+        """Scale the ensemble sizes (e.g. ``factor=50`` approaches paper scale)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return CalibrationConfig(**{
+            **self.to_dict(),
+            "n_parameter_draws": max(1, int(self.n_parameter_draws * factor)),
+            "resample_size": max(1, int(self.resample_size * factor)),
+        })
+
+
+def paper_calibration_config(**overrides) -> CalibrationConfig:
+    """The paper's experimental settings (section V) at laptop scale.
+
+    Paper scale is ``n_parameter_draws=25_000, n_replicates=20,
+    resample_size=10_000``; pass those explicitly (or use
+    :meth:`CalibrationConfig.scaled`) on real hardware.
+    """
+    return CalibrationConfig(**overrides)

@@ -1,0 +1,158 @@
+"""Calibration results: per-window posteriors, ribbons, serialisable summary.
+
+:class:`CalibrationResult` is what :func:`repro.inference.calibrate` returns:
+the ordered window results plus the helpers that regenerate the paper's
+figures — time-varying parameter estimates (Figs 4b/5b), posterior ribbons on
+reported/true cases and deaths (Figs 4a/5a), and an overall JSON summary for
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.posterior import TrajectoryRibbon, trajectory_ribbon
+from ..core.smc import WindowResult
+from ..core.window import WindowSchedule
+from ..data.sources import CASES
+from ..seir.outputs import Trajectory
+
+__all__ = ["CalibrationResult", "ParameterTrack"]
+
+
+@dataclass(frozen=True)
+class ParameterTrack:
+    """Posterior summary of one parameter across windows (a Fig 4b row)."""
+
+    name: str
+    window_labels: tuple[str, ...]
+    means: np.ndarray
+    medians: np.ndarray
+    ci50: np.ndarray  # shape (n_windows, 2)
+    ci90: np.ndarray  # shape (n_windows, 2)
+
+    def covers(self, window_index: int, truth: float, level: str = "ci90") -> bool:
+        """Did the chosen interval of this window contain the truth?"""
+        band = getattr(self, level)
+        lo, hi = band[window_index]
+        return bool(lo <= truth <= hi)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "window_labels": list(self.window_labels),
+            "means": self.means.tolist(),
+            "medians": self.medians.tolist(),
+            "ci50": self.ci50.tolist(),
+            "ci90": self.ci90.tolist(),
+        }
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a full sequential calibration run."""
+
+    schedule: WindowSchedule
+    windows: tuple[WindowResult, ...]
+    config_payload: dict
+    wall_time_seconds: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if len(self.windows) != len(self.schedule):
+            raise ValueError("one WindowResult per schedule window required")
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def final_posterior(self):
+        return self.windows[-1].posterior
+
+    def window(self, index: int) -> WindowResult:
+        return self.windows[index]
+
+    # ------------------------------------------------------------------ #
+    def parameter_track(self, name: str) -> ParameterTrack:
+        """Per-window posterior summaries of one parameter."""
+        labels, means, medians, ci50, ci90 = [], [], [], [], []
+        for wr in self.windows:
+            post = wr.posterior
+            labels.append(wr.window.label())
+            means.append(post.weighted_mean(name))
+            medians.append(float(post.weighted_quantile(name, 0.5)))
+            ci50.append(post.credible_interval(name, 0.5))
+            ci90.append(post.credible_interval(name, 0.9))
+        return ParameterTrack(name=name, window_labels=tuple(labels),
+                              means=np.array(means), medians=np.array(medians),
+                              ci50=np.array(ci50), ci90=np.array(ci90))
+
+    def posterior_ribbon(self, channel: str = CASES,
+                         quantiles: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95),
+                         ) -> TrajectoryRibbon:
+        """Credible ribbon over the final posterior's full trajectory history.
+
+        This is the grey-trajectories + shaded-ribbons panel of Figs 4a/5a:
+        every surviving particle carries its complete history from simulation
+        start, so the ribbon spans burn-in through the last window.
+        """
+        return trajectory_ribbon(self.final_posterior.trajectories("history"),
+                                 channel, quantiles)
+
+    def window_ribbon(self, index: int, channel: str = CASES,
+                      quantiles: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95),
+                      ) -> TrajectoryRibbon:
+        """Ribbon over one window's posterior segment trajectories."""
+        return trajectory_ribbon(self.windows[index].posterior.trajectories("segment"),
+                                 channel, quantiles)
+
+    def final_histories(self) -> list[Trajectory]:
+        return self.final_posterior.trajectories("history")
+
+    # ------------------------------------------------------------------ #
+    def ess_fractions(self) -> np.ndarray:
+        return np.array([wr.diagnostics.ess_fraction for wr in self.windows])
+
+    def log_evidence(self) -> float:
+        """Sum of per-window incremental log-evidence estimates."""
+        return float(sum(wr.diagnostics.log_evidence for wr in self.windows))
+
+    def summary(self) -> dict:
+        """JSON-safe run summary (parameters, diagnostics, timings)."""
+        params = self.windows[0].posterior.param_names
+        return {
+            "n_windows": self.n_windows,
+            "windows": [wr.window.label() for wr in self.windows],
+            "wall_time_seconds": self.wall_time_seconds,
+            "log_evidence": self.log_evidence(),
+            "diagnostics": [wr.diagnostics.to_dict() for wr in self.windows],
+            "parameters": {name: self.parameter_track(name).to_dict()
+                           for name in params},
+            "config": dict(self.config_payload),
+        }
+
+    def save_summary(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w") as fh:
+            json.dump(self.summary(), fh, indent=2)
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (used by examples)."""
+        lines = [f"Sequential calibration over {self.n_windows} windows"]
+        for wr in self.windows:
+            s = wr.summary()
+            parts = [f"  {s['window']}:"]
+            for name in wr.posterior.param_names:
+                p = s[name]
+                parts.append(f"{name}={p['mean']:.3f} "
+                             f"[{p['ci90'][0]:.3f}, {p['ci90'][1]:.3f}]")
+            parts.append(f"ESS%={100 * s['ess_fraction']:.1f}")
+            lines.append(" ".join(parts))
+        lines.append(f"  total log-evidence: {self.log_evidence():.1f}")
+        return "\n".join(lines)

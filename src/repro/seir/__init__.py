@@ -1,0 +1,24 @@
+"""Stochastic SEIR disease simulator substrate (paper sections III, V-A)."""
+
+from .checkpoint import Checkpoint, CheckpointError
+from .compartments import (Compartment, N_COMPARTMENTS, TransitionSpec,
+                           build_transitions, infectiousness_weights)
+from .events import EventDrivenEngine, ScheduledEvent
+from .gillespie import GillespieEngine
+from .model import ENGINE_NAMES, StochasticSEIRModel, engine_class
+from .outputs import Trajectory, TrajectoryBuilder
+from .parameters import DiseaseParameters, ParameterOverride, chicago_defaults
+from .seeding import SeedSequenceBank, generator_for, mix_seed
+from .tauleap import BinomialLeapEngine, CompiledTransitions
+
+__all__ = [
+    "Compartment", "N_COMPARTMENTS", "TransitionSpec",
+    "build_transitions", "infectiousness_weights",
+    "DiseaseParameters", "ParameterOverride", "chicago_defaults",
+    "SeedSequenceBank", "generator_for", "mix_seed",
+    "Trajectory", "TrajectoryBuilder",
+    "BinomialLeapEngine", "GillespieEngine", "EventDrivenEngine",
+    "ScheduledEvent", "CompiledTransitions",
+    "Checkpoint", "CheckpointError",
+    "StochasticSEIRModel", "engine_class", "ENGINE_NAMES",
+]

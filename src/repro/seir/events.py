@@ -1,0 +1,249 @@
+"""Event-driven simulation engine with an explicit future-event queue.
+
+The paper's checkpointing description (section III-B) serialises "the number
+of persons in each state, **the future state transition events**, the current
+simulated time, etc.".  This engine mirrors that design: every individual who
+enters a transient compartment gets a scheduled exit event (exponential dwell,
+destination drawn at entry) pushed onto a heap, and a checkpoint snapshot
+includes the pending event list verbatim.
+
+Infection (S -> E) is the one non-scheduled process — its hazard depends on
+the evolving compartment occupancy — and is advanced by fine time-slicing
+within each day (binomial draws per slice), giving a hybrid discrete-event /
+leap scheme.  Cost is O(total events), so like the exact SSA this engine is
+for small populations; its role in the reproduction is to exercise
+checkpoint-with-pending-events semantics, which the other engines do not have.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..data.schedule import PiecewiseConstant
+from .compartments import Compartment, N_COMPARTMENTS
+from .outputs import Trajectory, TrajectoryBuilder
+from .parameters import DiseaseParameters
+from .seeding import generator_for
+from .tauleap import (CompiledTransitions, _rng_from_jsonable,
+                      _rng_state_to_jsonable, _theta_function)
+
+__all__ = ["EventDrivenEngine", "ScheduledEvent"]
+
+
+class ScheduledEvent(tuple):
+    """A pending transition: ``(time, sequence, src, dst)``.
+
+    Implemented as a tuple subclass so heap ordering (by time, then insertion
+    sequence for determinism) works without a custom comparator and the event
+    serialises to JSON as a plain list.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, time: float, seq: int, src: int, dst: int):
+        return super().__new__(cls, (float(time), int(seq), int(src), int(dst)))
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def src(self) -> int:
+        return self[2]
+
+    @property
+    def dst(self) -> int:
+        return self[3]
+
+
+class EventDrivenEngine:
+    """Discrete-event engine with serialisable pending transitions.
+
+    Parameters mirror :class:`~repro.seir.tauleap.BinomialLeapEngine`;
+    ``infection_slices_per_day`` controls the time resolution of the
+    non-scheduled infection process.
+    """
+
+    name = "event_driven"
+
+    def __init__(self, params: DiseaseParameters, seed: int, *,
+                 theta_schedule: PiecewiseConstant | None = None,
+                 start_day: int = 0,
+                 infection_slices_per_day: int = 8) -> None:
+        if infection_slices_per_day < 1:
+            raise ValueError("infection_slices_per_day must be >= 1")
+        self.params = params
+        self.seed = int(seed)
+        self.theta_schedule = theta_schedule
+        self._theta_of = _theta_function(params, theta_schedule)
+        self._table = CompiledTransitions(params)
+        self._rng = generator_for(seed)
+        self.infection_slices_per_day = int(infection_slices_per_day)
+
+        self._day = int(start_day)
+        self._counts = np.zeros(N_COMPARTMENTS, dtype=np.int64)
+        self._counts[Compartment.S] = params.population - params.initial_exposed
+        self._cum_infections = 0
+        self._cum_deaths = 0
+        self._event_seq = 0
+        self._events: list[ScheduledEvent] = []
+        # Seed initial exposures through the scheduler so their progressions
+        # are pending events, as they would be in the paper's simulator.
+        self._admit(Compartment.E, params.initial_exposed, float(start_day))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def day(self) -> int:
+        return self._day
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    def count_of(self, compartment: Compartment) -> int:
+        return int(self._counts[compartment])
+
+    @property
+    def cumulative_infections(self) -> int:
+        return int(self._cum_infections)
+
+    @property
+    def cumulative_deaths(self) -> int:
+        return int(self._cum_deaths)
+
+    @property
+    def pending_event_count(self) -> int:
+        """Number of future transition events currently scheduled."""
+        return len(self._events)
+
+    def population_conserved(self) -> bool:
+        return int(self._counts.sum()) == self.params.population
+
+    # ------------------------------------------------------------------ #
+    def _source_index(self, compartment: int) -> int | None:
+        hits = np.nonzero(self._table.sources == compartment)[0]
+        return int(hits[0]) if len(hits) else None
+
+    def _admit(self, compartment: Compartment, n: int, now: float) -> None:
+        """Place ``n`` individuals into ``compartment`` and schedule exits."""
+        if n <= 0:
+            return
+        self._counts[compartment] += n
+        idx = self._source_index(int(compartment))
+        if idx is None:
+            return  # absorbing state (R, D)
+        h_tot = float(self._table.total_hazards[idx])
+        if h_tot <= 0:
+            return
+        dwells = self._rng.exponential(1.0 / h_tot, size=n)
+        dests = self._table.dest_indices[idx]
+        probs = self._table.dest_probs[idx]
+        if len(dests) == 1:
+            chosen = np.full(n, int(dests[0]))
+        else:
+            chosen = self._rng.choice(dests, size=n, p=probs)
+        for dwell, dst in zip(dwells, chosen):
+            self._event_seq += 1
+            heapq.heappush(self._events,
+                           ScheduledEvent(now + float(dwell), self._event_seq,
+                                          int(compartment), int(dst)))
+
+    def _fire_events_until(self, t_end: float) -> int:
+        """Execute scheduled transitions up to ``t_end``; return new deaths."""
+        deaths = 0
+        while self._events and self._events[0].time <= t_end:
+            ev = heapq.heappop(self._events)
+            src, dst = ev.src, ev.dst
+            if self._counts[src] <= 0:  # defensive; should not happen
+                continue
+            self._counts[src] -= 1
+            self._admit(Compartment(dst), 1, ev.time)
+            # _admit incremented dst; absorbing states have no exits scheduled.
+            if dst in (int(Compartment.D_U), int(Compartment.D_D)):
+                deaths += 1
+        return deaths
+
+    def step_day(self) -> tuple[int, int]:
+        """Advance one day: alternate infection slices and event firing."""
+        theta = self._theta_of(self._day)
+        rng = self._rng
+        dt = 1.0 / self.infection_slices_per_day
+        day_inf = 0
+        day_dead = 0
+        for k in range(self.infection_slices_per_day):
+            now = self._day + k * dt
+            day_dead += self._fire_events_until(now + dt)
+            weighted = float(self._table.infection_weights @ self._counts)
+            lam = theta * weighted / self.params.population
+            p_inf = -np.expm1(-lam * dt)
+            new_e = int(rng.binomial(self._counts[Compartment.S], p_inf)) \
+                if p_inf > 0 else 0
+            if new_e:
+                self._counts[Compartment.S] -= new_e
+                self._admit(Compartment.E, new_e, now + dt)
+                day_inf += new_e
+        self._day += 1
+        self._cum_infections += day_inf
+        self._cum_deaths += day_dead
+        return day_inf, day_dead
+
+    def _census(self) -> tuple[int, int]:
+        c = self._counts
+        hosp = int(c[Compartment.H_U] + c[Compartment.H_D]
+                   + c[Compartment.HP_U] + c[Compartment.HP_D])
+        icu = int(c[Compartment.C_U] + c[Compartment.C_D])
+        return hosp, icu
+
+    def run_until(self, end_day: int) -> Trajectory:
+        if end_day < self._day:
+            raise ValueError(f"end_day {end_day} is before current day {self._day}")
+        builder = TrajectoryBuilder(self._day)
+        while self._day < end_day:
+            inf, dead = self.step_day()
+            hosp, icu = self._census()
+            builder.append_day(inf, dead, hosp, icu)
+        return builder.build()
+
+    # ------------------------------------------------------------------ #
+    def state_snapshot(self) -> dict:
+        """Snapshot including the pending future-event queue (paper III-B)."""
+        return {
+            "engine": self.name,
+            "day": self._day,
+            "counts": self._counts.tolist(),
+            "cum_infections": int(self._cum_infections),
+            "cum_deaths": int(self._cum_deaths),
+            "seed": self.seed,
+            "rng_state": _rng_state_to_jsonable(self._rng),
+            "event_seq": self._event_seq,
+            "pending_events": [list(ev) for ev in sorted(self._events)],
+            "infection_slices_per_day": self.infection_slices_per_day,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict, params: DiseaseParameters, *,
+                      seed: int | None = None,
+                      theta_schedule: PiecewiseConstant | None = None,
+                      ) -> "EventDrivenEngine":
+        engine = cls.__new__(cls)
+        engine.params = params
+        engine.theta_schedule = theta_schedule
+        engine._theta_of = _theta_function(params, theta_schedule)
+        engine._table = CompiledTransitions(params)
+        engine.infection_slices_per_day = int(snapshot["infection_slices_per_day"])
+        engine._day = int(snapshot["day"])
+        engine._counts = np.asarray(snapshot["counts"], dtype=np.int64).copy()
+        engine._cum_infections = int(snapshot["cum_infections"])
+        engine._cum_deaths = int(snapshot["cum_deaths"])
+        engine._event_seq = int(snapshot["event_seq"])
+        engine._events = [ScheduledEvent(*ev) for ev in snapshot["pending_events"]]
+        heapq.heapify(engine._events)
+        if seed is not None:
+            engine.seed = int(seed)
+            engine._rng = generator_for(int(seed))
+        else:
+            engine.seed = int(snapshot["seed"])
+            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+        return engine

@@ -1,0 +1,167 @@
+"""Trajectory outputs of the disease simulator.
+
+A :class:`Trajectory` is the daily output record of one stochastic simulation
+run: new infections (the paper's "cases" channel — the *true*, unobservable
+counts), new deaths, and hospital/ICU census snapshots.  Channels are exposed
+as :class:`~repro.data.series.TimeSeries` so the observation model and
+likelihoods operate on one container type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.series import TimeSeries
+from ..data.sources import CASES, DEATHS, HOSPITAL_CENSUS, ICU_CENSUS
+
+__all__ = ["Trajectory", "TrajectoryBuilder"]
+
+_CHANNELS = (CASES, DEATHS, HOSPITAL_CENSUS, ICU_CENSUS)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """Daily outputs of one simulation run over ``[start_day, end_day)``.
+
+    Attributes
+    ----------
+    start_day:
+        First simulated day in this record.
+    infections:
+        New infections (S -> E flux) per day; the true case channel.
+    deaths:
+        New deaths per day (flux into D_U + D_D).
+    hospital_census:
+        End-of-day occupancy of hospital (H + post-ICU) compartments.
+    icu_census:
+        End-of-day occupancy of ICU compartments.
+    """
+
+    start_day: int
+    infections: np.ndarray
+    deaths: np.ndarray
+    hospital_census: np.ndarray
+    icu_census: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {}
+        n = None
+        for name in ("infections", "deaths", "hospital_census", "icu_census"):
+            arr = np.asarray(getattr(self, name), dtype=np.float64).copy()
+            if arr.ndim != 1:
+                raise ValueError(f"{name} must be 1-d")
+            if n is None:
+                n = arr.shape[0]
+            elif arr.shape[0] != n:
+                raise ValueError("trajectory channels must have equal length")
+            arr.setflags(write=False)
+            arrays[name] = arr
+        for name, arr in arrays.items():
+            object.__setattr__(self, name, arr)
+        object.__setattr__(self, "start_day", int(self.start_day))
+
+    def __len__(self) -> int:
+        return int(self.infections.shape[0])
+
+    @property
+    def end_day(self) -> int:
+        return self.start_day + len(self)
+
+    # ------------------------------------------------------------------ #
+    def series(self, channel: str) -> TimeSeries:
+        """The named output channel as a :class:`TimeSeries`."""
+        mapping = {
+            CASES: self.infections,
+            DEATHS: self.deaths,
+            HOSPITAL_CENSUS: self.hospital_census,
+            ICU_CENSUS: self.icu_census,
+        }
+        if channel not in mapping:
+            raise KeyError(f"unknown channel {channel!r}; expected one of {_CHANNELS}")
+        return TimeSeries(self.start_day, mapping[channel], name=channel)
+
+    def window(self, start_day: int, end_day: int) -> "Trajectory":
+        """Slice the record to days ``[start_day, end_day)``."""
+        if start_day < self.start_day or end_day > self.end_day or end_day < start_day:
+            raise ValueError(
+                f"window [{start_day}, {end_day}) not within "
+                f"[{self.start_day}, {self.end_day})")
+        lo, hi = start_day - self.start_day, end_day - self.start_day
+        return Trajectory(start_day,
+                          self.infections[lo:hi], self.deaths[lo:hi],
+                          self.hospital_census[lo:hi], self.icu_census[lo:hi])
+
+    def extended_by(self, other: "Trajectory") -> "Trajectory":
+        """Append a continuation segment (checkpoint-restarted window)."""
+        if other.start_day != self.end_day:
+            raise ValueError(
+                f"continuation starts at day {other.start_day}, expected {self.end_day}")
+        return Trajectory(
+            self.start_day,
+            np.concatenate([self.infections, other.infections]),
+            np.concatenate([self.deaths, other.deaths]),
+            np.concatenate([self.hospital_census, other.hospital_census]),
+            np.concatenate([self.icu_census, other.icu_census]),
+        )
+
+    def total_infections(self) -> float:
+        return float(self.infections.sum())
+
+    def total_deaths(self) -> float:
+        return float(self.deaths.sum())
+
+    def peak_infection_day(self) -> int:
+        return self.start_day + int(np.argmax(self.infections))
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "start_day": self.start_day,
+            "infections": self.infections.tolist(),
+            "deaths": self.deaths.tolist(),
+            "hospital_census": self.hospital_census.tolist(),
+            "icu_census": self.icu_census.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Trajectory":
+        return cls(start_day=int(d["start_day"]),
+                   infections=np.asarray(d["infections"]),
+                   deaths=np.asarray(d["deaths"]),
+                   hospital_census=np.asarray(d["hospital_census"]),
+                   icu_census=np.asarray(d["icu_census"]))
+
+    @classmethod
+    def empty(cls, start_day: int) -> "Trajectory":
+        z = np.zeros(0)
+        return cls(start_day, z, z, z, z)
+
+
+@dataclass
+class TrajectoryBuilder:
+    """Mutable accumulator the engines append one day at a time."""
+
+    start_day: int
+    _infections: list[float] = field(default_factory=list)
+    _deaths: list[float] = field(default_factory=list)
+    _hospital: list[float] = field(default_factory=list)
+    _icu: list[float] = field(default_factory=list)
+
+    def append_day(self, infections: float, deaths: float,
+                   hospital_census: float, icu_census: float) -> None:
+        self._infections.append(float(infections))
+        self._deaths.append(float(deaths))
+        self._hospital.append(float(hospital_census))
+        self._icu.append(float(icu_census))
+
+    def __len__(self) -> int:
+        return len(self._infections)
+
+    def build(self) -> Trajectory:
+        return Trajectory(self.start_day,
+                          np.asarray(self._infections),
+                          np.asarray(self._deaths),
+                          np.asarray(self._hospital),
+                          np.asarray(self._icu))

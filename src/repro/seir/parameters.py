@@ -1,0 +1,230 @@
+"""Disease model parameters and the paper's checkpoint-restart override set.
+
+Defaults are chosen to place trajectories in the ranges shown in the paper's
+Figure 2 for a Chicago-scale population (2.7M): daily infections growing from
+tens to a few tens of thousands over ~100 days with R0 ~ 2 at theta = 0.3, and
+daily deaths in the 0-50 range.  Stage durations and severity fractions follow
+the COVID-19 literature values the covid-chicago model cites.
+
+The paper (section III-B) enumerates exactly which quantities may be changed
+when restarting from a checkpoint to spawn a new trajectory:
+
+1. the random seed;
+2. the fraction of persons moving from E to P;
+3. the fraction of persons moving from P to Sm;
+4. infectiousness of symptomatic versus asymptomatic infections;
+5. infectiousness of detected versus undetected infections;
+6. the rate of persons moving from S to E (the transmission rate).
+
+:class:`ParameterOverride` encodes that contract; anything else is fixed at
+checkpoint time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar, Mapping
+
+__all__ = ["DiseaseParameters", "ParameterOverride", "chicago_defaults"]
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_positive(name: str, value: float) -> None:
+    if not value > 0.0 or not math.isfinite(value):
+        raise ValueError(f"{name} must be positive and finite, got {value}")
+
+
+@dataclass(frozen=True)
+class DiseaseParameters:
+    """Full parameterisation of the stochastic SEIR simulator.
+
+    Attributes
+    ----------
+    population:
+        Closed population size N.
+    initial_exposed:
+        Number of individuals seeded in E at day 0.
+    transmission_rate:
+        theta — the S -> E rate scale (per day); the calibration target.
+    latent_period_days:
+        Mean dwell in E before becoming infectious.
+    exposed_to_presymptomatic_fraction:
+        Fraction of E exits that enter P (the rest are fully asymptomatic);
+        paper override knob 2.
+    presymptomatic_period_days:
+        Mean dwell in P before symptom onset.
+    mild_fraction:
+        Fraction of symptom onsets that are mild (P -> Sm); paper knob 3.
+    asymptomatic_period_days, mild_period_days:
+        Mean infectious durations before recovery.
+    severe_period_days:
+        Mean time from severe-symptom onset to hospital admission.
+    hospital_period_days:
+        Mean non-ICU hospital stay before recovery or ICU transfer.
+    critical_fraction:
+        Fraction of hospitalised patients that become critical (H -> C).
+    icu_period_days:
+        Mean ICU stay before death or step-down.
+    death_fraction:
+        Fraction of critical patients that die (C -> D).
+    post_icu_period_days:
+        Mean post-ICU hospital stay before recovery.
+    detection_prob_*:
+        Probability an infection in that stage is ever detected.
+    detection_delay_days:
+        Mean delay to detection given detection occurs.
+    asymptomatic_rel_infectiousness:
+        Infectiousness of asymptomatic relative to symptomatic; paper knob 4.
+    detected_rel_infectiousness:
+        Infectiousness of detected relative to undetected; paper knob 5.
+    """
+
+    population: int = 2_700_000
+    initial_exposed: int = 500
+
+    transmission_rate: float = 0.30
+
+    latent_period_days: float = 3.0
+    exposed_to_presymptomatic_fraction: float = 0.75
+    presymptomatic_period_days: float = 2.3
+    mild_fraction: float = 0.92
+    asymptomatic_period_days: float = 6.0
+    mild_period_days: float = 6.0
+    severe_period_days: float = 4.0
+    hospital_period_days: float = 6.0
+    critical_fraction: float = 0.25
+    icu_period_days: float = 8.0
+    death_fraction: float = 0.40
+    post_icu_period_days: float = 5.0
+
+    detection_prob_asymptomatic: float = 0.05
+    detection_prob_presymptomatic: float = 0.05
+    detection_prob_mild: float = 0.30
+    detection_prob_severe: float = 0.80
+    detection_delay_days: float = 2.0
+
+    asymptomatic_rel_infectiousness: float = 0.60
+    detected_rel_infectiousness: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if not 0 <= self.initial_exposed <= self.population:
+            raise ValueError("initial_exposed must be in [0, population]")
+        if self.transmission_rate < 0:
+            raise ValueError("transmission_rate must be >= 0")
+        for name in ("latent_period_days", "presymptomatic_period_days",
+                     "asymptomatic_period_days", "mild_period_days",
+                     "severe_period_days", "hospital_period_days",
+                     "icu_period_days", "post_icu_period_days",
+                     "detection_delay_days"):
+            _check_positive(name, getattr(self, name))
+        for name in ("exposed_to_presymptomatic_fraction", "mild_fraction",
+                     "critical_fraction", "death_fraction",
+                     "detection_prob_asymptomatic", "detection_prob_presymptomatic",
+                     "detection_prob_mild", "detection_prob_severe",
+                     "asymptomatic_rel_infectiousness",
+                     "detected_rel_infectiousness"):
+            _check_fraction(name, getattr(self, name))
+
+    # ------------------------------------------------------------------ #
+    def with_updates(self, **updates: Any) -> "DiseaseParameters":
+        """Return a copy with named fields replaced (validated)."""
+        return replace(self, **updates)
+
+    def basic_reproduction_number(self) -> float:
+        """Crude R0 estimate: theta times the mean infectious person-days.
+
+        Ignores detection (which reduces effective infectiousness), so this is
+        an upper bound; used for sanity checks and documentation, not inference.
+        """
+        p = self
+        sigma = p.exposed_to_presymptomatic_fraction
+        asym = (1.0 - sigma) * p.asymptomatic_rel_infectiousness * p.asymptomatic_period_days
+        presym = sigma * p.presymptomatic_period_days
+        mild = sigma * p.mild_fraction * p.mild_period_days
+        severe = sigma * (1.0 - p.mild_fraction) * p.severe_period_days
+        return p.transmission_rate * (asym + presym + mild + severe)
+
+    def infection_fatality_ratio(self) -> float:
+        """Expected deaths per infection implied by the pathway fractions."""
+        p = self
+        return (p.exposed_to_presymptomatic_fraction * (1.0 - p.mild_fraction)
+                * p.critical_fraction * p.death_fraction)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "DiseaseParameters":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown parameter fields: {sorted(unknown)}")
+        return cls(**dict(d))
+
+
+def chicago_defaults(**updates: Any) -> DiseaseParameters:
+    """The default Chicago-scale parameter set, optionally tweaked."""
+    return DiseaseParameters().with_updates(**updates) if updates else DiseaseParameters()
+
+
+@dataclass(frozen=True)
+class ParameterOverride:
+    """Exactly the six quantities the paper allows when restarting a checkpoint.
+
+    Every field defaults to ``None`` meaning "keep the checkpointed value".
+    ``seed`` is consumed by the engine factory (it re-seeds the RNG stream);
+    the remaining five rewrite :class:`DiseaseParameters` fields.
+    """
+
+    seed: int | None = None
+    transmission_rate: float | None = None
+    exposed_to_presymptomatic_fraction: float | None = None
+    mild_fraction: float | None = None
+    asymptomatic_rel_infectiousness: float | None = None
+    detected_rel_infectiousness: float | None = None
+
+    _PARAM_FIELDS: ClassVar[tuple[str, ...]] = (
+        "transmission_rate",
+        "exposed_to_presymptomatic_fraction",
+        "mild_fraction",
+        "asymptomatic_rel_infectiousness",
+        "detected_rel_infectiousness",
+    )
+
+    def apply_to(self, params: DiseaseParameters) -> DiseaseParameters:
+        """Rewrite the overridden fields of ``params``."""
+        updates = {name: getattr(self, name) for name in self._PARAM_FIELDS
+                   if getattr(self, name) is not None}
+        return params.with_updates(**updates) if updates else params
+
+    def is_empty(self) -> bool:
+        return self.seed is None and all(
+            getattr(self, name) is None for name in self._PARAM_FIELDS)
+
+    def to_dict(self) -> dict:
+        d: dict[str, Any] = {}
+        if self.seed is not None:
+            d["seed"] = int(self.seed)
+        for name in self._PARAM_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                d[name] = float(value)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ParameterOverride":
+        allowed = {"seed", *cls._PARAM_FIELDS}
+        unknown = set(d) - allowed
+        if unknown:
+            raise ValueError(
+                f"override fields {sorted(unknown)} are not restartable; "
+                f"the paper permits only {sorted(allowed)}")
+        return cls(**dict(d))

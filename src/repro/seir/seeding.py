@@ -1,0 +1,97 @@
+"""Random-seed management for trajectory-oriented calibration.
+
+The paper treats the random seed ``s`` as a *coordinate of the particle*: the
+pair ``(theta, s)`` maps one-to-one to a trajectory, which is what lets the
+framework store, resample, and restart individual histories.  It additionally
+uses **common random numbers**: "the same set of random seeds is employed to
+generate the 20 realizations from the stochastic simulation" at every theta
+(section V-B), which removes between-theta replicate noise from the weight
+comparison.
+
+:class:`SeedSequenceBank` provides both facilities on top of
+``numpy.random.SeedSequence``:
+
+* a reproducible common seed set shared by all parameter draws, and
+* independent child streams for ancillary randomness (priors, thinning)
+  that must not collide with simulation streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeedSequenceBank", "generator_for", "mix_seed"]
+
+_SIMULATION_STREAM = 0
+_ANCILLARY_STREAM = 1
+
+
+def generator_for(seed: int) -> np.random.Generator:
+    """A fresh, deterministic generator for a trajectory seed.
+
+    Every engine obtains its RNG through this function, which is what makes
+    ``(theta, s) -> trajectory`` a pure mapping: same seed, same stream,
+    regardless of which process or engine instance runs the simulation.
+    """
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(int(seed))))
+
+
+def mix_seed(*components: int) -> int:
+    """Deterministically mix integer components into a single 63-bit seed.
+
+    Used to derive per-(window, particle) restart seeds without collisions:
+    ``mix_seed(base, window_index, particle_index)``.
+    """
+    ss = np.random.SeedSequence(entropy=[int(c) & 0x7FFFFFFFFFFFFFFF
+                                         for c in components])
+    return int(ss.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class SeedSequenceBank:
+    """Reproducible seed supply for one calibration run.
+
+    Parameters
+    ----------
+    base_seed:
+        Master entropy for the whole run.  Two banks with the same base seed
+        produce identical seed sets and ancillary generators.
+    """
+
+    base_seed: int = 20240215
+
+    def common_replicate_seeds(self, n_replicates: int) -> list[int]:
+        """The shared seed set used across *all* parameter draws.
+
+        Implements the paper's common-random-numbers device: replicate ``r``
+        of every theta uses ``seeds[r]``.
+        """
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
+        ss = np.random.SeedSequence(self.base_seed, spawn_key=(_SIMULATION_STREAM,))
+        state = ss.generate_state(n_replicates, dtype=np.uint64)
+        return [int(s & 0x7FFFFFFFFFFFFFFF) for s in state]
+
+    def ancillary_generator(self, purpose: int = 0) -> np.random.Generator:
+        """An RNG stream independent of every simulation stream.
+
+        ``purpose`` distinguishes consumers (0 = prior sampling, 1 = bias
+        thinning, 2 = resampling, ...), so adding a consumer never perturbs
+        the draws of existing ones.
+        """
+        ss = np.random.SeedSequence(self.base_seed,
+                                    spawn_key=(_ANCILLARY_STREAM, int(purpose)))
+        return np.random.Generator(np.random.PCG64(ss))
+
+    def window_restart_seed(self, original_seed: int, window_index: int,
+                            particle_index: int) -> int:
+        """Fresh seed for restarting a particle into a new window.
+
+        The paper re-parameterises a checkpoint with "1) the random seed" —
+        restarted trajectories get new randomness rather than replaying the
+        parent stream.  Mixing in the particle index keeps resampled
+        duplicates of the same ancestor from evolving identically.
+        """
+        return mix_seed(self.base_seed, original_seed, window_index, particle_index)

@@ -1,0 +1,336 @@
+"""Binomial-leap (chain-binomial) simulation engine.
+
+This is the workhorse engine of the reproduction: a fixed-step, day-subdivided
+stochastic update in which, during each substep of length ``dt``:
+
+* every susceptible independently becomes exposed with probability
+  ``1 - exp(-lambda * dt)`` where ``lambda`` is the instantaneous force of
+  infection, and
+* every occupant of a transient compartment exits with probability
+  ``1 - exp(-h_tot * dt)`` where ``h_tot`` sums the competing hazards out of
+  that compartment; exits are allocated to (hazard-channel, destination)
+  pairs by a multinomial draw with probabilities ``h_i / h_tot * p_dest`` —
+  the exact conditional law for competing exponential risks.
+
+The engine simulates **one trajectory per instance** with its own
+``numpy`` generator derived from the particle seed.  That preserves the
+paper's central invariant — ``(theta, s)`` maps one-to-one to a trajectory —
+which vectorised multi-trajectory batching with a shared RNG would break
+(each member's draws would depend on the batch composition).  Ensemble
+concurrency is instead provided across instances by :mod:`repro.hpc`.
+
+Within a trajectory the update is fully vectorised over compartments: the
+per-substep cost is one vectorised binomial draw for all exits plus one
+multinomial per *active* multi-destination compartment, per the
+scientific-python optimisation guidance (no per-individual Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.schedule import PiecewiseConstant
+from .compartments import (Compartment, N_COMPARTMENTS, build_transitions,
+                           infectiousness_weights)
+from .outputs import Trajectory, TrajectoryBuilder
+from .parameters import DiseaseParameters
+from .seeding import generator_for
+
+__all__ = ["BinomialLeapEngine", "CompiledTransitions"]
+
+# Hot-loop integer constants (enum attribute access is measurably slow).
+_S = int(Compartment.S)
+_E = int(Compartment.E)
+_H_U, _H_D = int(Compartment.H_U), int(Compartment.H_D)
+_HP_U, _HP_D = int(Compartment.HP_U), int(Compartment.HP_D)
+_C_U, _C_D = int(Compartment.C_U), int(Compartment.C_D)
+
+
+class CompiledTransitions:
+    """Transition table compiled to flat arrays for the leap update.
+
+    For every source compartment with at least one outgoing hazard we store
+    the total hazard and the flattened (destination, probability) allocation
+    across all competing channels.
+    """
+
+    def __init__(self, params: DiseaseParameters) -> None:
+        by_src: dict[int, list] = {}
+        for spec in build_transitions(params):
+            by_src.setdefault(int(spec.src), []).append(spec)
+
+        self.sources: np.ndarray = np.array(sorted(by_src), dtype=np.int64)
+        self.total_hazards: np.ndarray = np.zeros(len(self.sources))
+        self.dest_indices: list[np.ndarray] = []
+        self.dest_probs: list[np.ndarray] = []
+        #: Per source, boolean mask of destinations that are death states.
+        self.dest_is_death: list[np.ndarray] = []
+
+        death_set = {int(Compartment.D_U), int(Compartment.D_D)}
+        for i, src in enumerate(self.sources):
+            specs = by_src[int(src)]
+            h_tot = float(sum(s.hazard for s in specs))
+            self.total_hazards[i] = h_tot
+            dests: list[int] = []
+            probs: list[float] = []
+            for s in specs:
+                channel_p = s.hazard / h_tot if h_tot > 0 else 0.0
+                for dst, p in s.destinations:
+                    dests.append(int(dst))
+                    probs.append(channel_p * p)
+            d = np.array(dests, dtype=np.int64)
+            p_arr = np.array(probs, dtype=np.float64)
+            # Merge duplicate destinations (can occur if two channels share one).
+            uniq, inv = np.unique(d, return_inverse=True)
+            merged = np.zeros(len(uniq))
+            np.add.at(merged, inv, p_arr)
+            self.dest_indices.append(uniq)
+            self.dest_probs.append(merged / merged.sum())
+            self.dest_is_death.append(np.array([int(x) in death_set for x in uniq]))
+
+        self.infection_weights = infectiousness_weights(params)
+
+
+def _theta_function(params: DiseaseParameters,
+                    schedule: PiecewiseConstant | None) -> Callable[[float], float]:
+    if schedule is None:
+        theta = float(params.transmission_rate)
+        return lambda _t: theta
+    return lambda t: float(schedule(int(t)))
+
+
+class BinomialLeapEngine:
+    """Chain-binomial stochastic SEIR engine for a single trajectory.
+
+    Parameters
+    ----------
+    params:
+        Disease parameterisation.
+    seed:
+        Particle random seed; fully determines the trajectory given params.
+    steps_per_day:
+        Substeps per simulated day (leap accuracy knob; 4 by default).
+    theta_schedule:
+        Optional piecewise transmission-rate schedule overriding
+        ``params.transmission_rate`` day by day (used by the ground-truth
+        generator; calibration holds theta constant within a window).
+    start_day:
+        Day index at which this engine's clock begins.
+    """
+
+    name = "binomial_leap"
+
+    def __init__(self, params: DiseaseParameters, seed: int, *,
+                 steps_per_day: int = 4,
+                 theta_schedule: PiecewiseConstant | None = None,
+                 start_day: int = 0) -> None:
+        if steps_per_day < 1:
+            raise ValueError("steps_per_day must be >= 1")
+        self.params = params
+        self.seed = int(seed)
+        self.steps_per_day = int(steps_per_day)
+        self.theta_schedule = theta_schedule
+        self._theta_of = _theta_function(params, theta_schedule)
+        self._table = CompiledTransitions(params)
+        self._prepare_fast_tables()
+        self._rng = generator_for(seed)
+
+        self._day = int(start_day)
+        self._counts = np.zeros(N_COMPARTMENTS, dtype=np.int64)
+        self._counts[Compartment.S] = params.population - params.initial_exposed
+        self._counts[Compartment.E] = params.initial_exposed
+        self._cum_infections = 0
+        self._cum_deaths = 0
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def day(self) -> int:
+        """Current simulation day (start of the next unsimulated day)."""
+        return self._day
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Copy of the current compartment occupancy vector."""
+        return self._counts.copy()
+
+    def count_of(self, compartment: Compartment) -> int:
+        return int(self._counts[compartment])
+
+    @property
+    def cumulative_infections(self) -> int:
+        return int(self._cum_infections)
+
+    @property
+    def cumulative_deaths(self) -> int:
+        return int(self._cum_deaths)
+
+    def population_conserved(self) -> bool:
+        """Closed-population invariant: compartment sum equals N."""
+        return int(self._counts.sum()) == self.params.population
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def _prepare_fast_tables(self) -> None:
+        """Precompute per-substep constants (exit probabilities, int lists)."""
+        dt = 1.0 / self.steps_per_day
+        self._p_exit = -np.expm1(-self._table.total_hazards * dt)
+        self._src_list = [int(s) for s in self._table.sources]
+
+    def _force_of_infection(self, theta: float) -> float:
+        weighted = float(self._table.infection_weights @ self._counts)
+        return theta * weighted / self.params.population
+
+    def _substep(self, theta: float, dt: float) -> tuple[int, int]:
+        """Advance one substep; return (new_infections, new_deaths)."""
+        counts = self._counts
+        table = self._table
+        rng = self._rng
+
+        lam = self._force_of_infection(theta)
+        new_e = 0
+        if lam > 0.0 and counts[_S] > 0:
+            p_inf = -np.expm1(-lam * dt)
+            new_e = int(rng.binomial(counts[_S], p_inf))
+
+        # One vectorised draw for the total exits of every transient source.
+        n_exit = rng.binomial(counts[table.sources], self._p_exit)
+
+        delta = np.zeros(N_COMPARTMENTS, dtype=np.int64)
+        delta[_S] -= new_e
+        delta[_E] += new_e
+
+        new_deaths = 0
+        src_list = self._src_list
+        dest_lists = table.dest_indices
+        for i in range(len(src_list)):
+            k = int(n_exit[i])
+            if k == 0:
+                continue
+            dests = dest_lists[i]
+            delta[src_list[i]] -= k
+            if len(dests) == 1:
+                delta[dests[0]] += k
+                if table.dest_is_death[i][0]:
+                    new_deaths += k
+            else:
+                allocated = rng.multinomial(k, table.dest_probs[i])
+                delta[dests] += allocated
+                death_mask = table.dest_is_death[i]
+                if death_mask.any():
+                    new_deaths += int(allocated[death_mask].sum())
+
+        counts += delta
+        return new_e, new_deaths
+
+    def step_day(self) -> tuple[int, int]:
+        """Simulate one full day; return (new_infections, new_deaths)."""
+        theta = self._theta_of(self._day)
+        dt = 1.0 / self.steps_per_day
+        day_inf = 0
+        day_dead = 0
+        for _ in range(self.steps_per_day):
+            inf, dead = self._substep(theta, dt)
+            day_inf += inf
+            day_dead += dead
+        self._day += 1
+        self._cum_infections += day_inf
+        self._cum_deaths += day_dead
+        return day_inf, day_dead
+
+    def _census(self) -> tuple[int, int]:
+        c = self._counts
+        hosp = int(c[_H_U] + c[_H_D] + c[_HP_U] + c[_HP_D])
+        icu = int(c[_C_U] + c[_C_D])
+        return hosp, icu
+
+    def run_until(self, end_day: int) -> Trajectory:
+        """Simulate days ``[current_day, end_day)`` and return their record."""
+        if end_day < self._day:
+            raise ValueError(f"end_day {end_day} is before current day {self._day}")
+        builder = TrajectoryBuilder(self._day)
+        while self._day < end_day:
+            inf, dead = self.step_day()
+            hosp, icu = self._census()
+            builder.append_day(inf, dead, hosp, icu)
+        return builder.build()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (consumed by repro.seir.checkpoint)
+    # ------------------------------------------------------------------ #
+    def state_snapshot(self) -> dict:
+        """JSON-safe snapshot of everything needed to resume this engine."""
+        return {
+            "engine": self.name,
+            "day": self._day,
+            "counts": self._counts.tolist(),
+            "cum_infections": int(self._cum_infections),
+            "cum_deaths": int(self._cum_deaths),
+            "steps_per_day": self.steps_per_day,
+            "seed": self.seed,
+            "rng_state": _rng_state_to_jsonable(self._rng),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict, params: DiseaseParameters, *,
+                      seed: int | None = None,
+                      theta_schedule: PiecewiseConstant | None = None,
+                      ) -> "BinomialLeapEngine":
+        """Rebuild an engine from a snapshot, optionally re-seeded.
+
+        If ``seed`` is given the RNG starts a *fresh* stream (the paper's
+        restart knob 1); otherwise the serialised stream continues bit-exactly.
+        """
+        engine = cls.__new__(cls)
+        engine.params = params
+        engine.steps_per_day = int(snapshot["steps_per_day"])
+        engine.theta_schedule = theta_schedule
+        engine._theta_of = _theta_function(params, theta_schedule)
+        engine._table = CompiledTransitions(params)
+        engine._prepare_fast_tables()
+        engine._day = int(snapshot["day"])
+        engine._counts = np.asarray(snapshot["counts"], dtype=np.int64).copy()
+        if engine._counts.shape != (N_COMPARTMENTS,):
+            raise ValueError("snapshot counts have wrong shape")
+        engine._cum_infections = int(snapshot["cum_infections"])
+        engine._cum_deaths = int(snapshot["cum_deaths"])
+        if seed is not None:
+            engine.seed = int(seed)
+            engine._rng = generator_for(int(seed))
+        else:
+            engine.seed = int(snapshot["seed"])
+            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+        return engine
+
+
+# --------------------------------------------------------------------------- #
+# RNG state (de)serialisation helpers shared by all engines.
+# --------------------------------------------------------------------------- #
+def _rng_state_to_jsonable(rng: np.random.Generator) -> dict:
+    """Extract the bit-generator state as JSON-safe plain types."""
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {k: int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state.get("has_uint32", 0)),
+        "uinteger": int(state.get("uinteger", 0)),
+    }
+
+
+def _rng_from_jsonable(payload: dict) -> np.random.Generator:
+    """Reconstruct a generator mid-stream from its serialised state."""
+    name = payload["bit_generator"]
+    if name != "PCG64":
+        raise ValueError(f"unsupported bit generator {name!r}")
+    bg = np.random.PCG64()
+    bg.state = {
+        "bit_generator": name,
+        "state": {k: int(v) for k, v in payload["state"].items()},
+        "has_uint32": int(payload.get("has_uint32", 0)),
+        "uinteger": int(payload.get("uinteger", 0)),
+    }
+    return np.random.Generator(bg)

@@ -1,0 +1,111 @@
+"""Trajectory cache keyed by (parameters, seed, day range).
+
+Because ``(theta, s) -> trajectory`` is a pure mapping (the framework's core
+invariant), simulations are memoisable.  The cache pays off in the baselines
+— MCMC revisits parameter values, and grid posteriors evaluate a fixed lattice
+— and in interactive exploration; the SMC driver itself rarely repeats an
+exact key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..seir.outputs import Trajectory
+from ..seir.parameters import DiseaseParameters
+
+__all__ = ["TrajectoryCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (mutable by design)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def _params_key(params: DiseaseParameters, precision: int) -> tuple:
+    return tuple(
+        round(v, precision) if isinstance(v, float) else v
+        for _, v in sorted(params.to_dict().items())
+    )
+
+
+class TrajectoryCache:
+    """Bounded LRU cache of simulated trajectories.
+
+    Parameters
+    ----------
+    max_entries:
+        Eviction threshold (least-recently-used first).
+    param_precision:
+        Floats in the parameter key are rounded to this many decimals;
+        draws closer than the rounding grid are treated as identical, which
+        is deliberate for continuous parameters revisited by MCMC proposals.
+    """
+
+    def __init__(self, max_entries: int = 4096, param_precision: int = 10) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max = int(max_entries)
+        self._precision = int(param_precision)
+        self._store: OrderedDict[tuple, Trajectory] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _key(self, params: DiseaseParameters, seed: int,
+             start_day: int, end_day: int) -> tuple:
+        return (_params_key(params, self._precision), int(seed),
+                int(start_day), int(end_day))
+
+    def get(self, params: DiseaseParameters, seed: int,
+            start_day: int, end_day: int) -> Trajectory | None:
+        """Look up a trajectory; None on miss (stats updated)."""
+        key = self._key(params, seed, start_day, end_day)
+        hit = self._store.get(key)
+        if hit is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return hit
+
+    def put(self, params: DiseaseParameters, seed: int,
+            start_day: int, end_day: int, trajectory: Trajectory) -> None:
+        """Insert (or refresh) a trajectory, evicting LRU entries as needed."""
+        key = self._key(params, seed, start_day, end_day)
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = trajectory
+        while len(self._store) > self._max:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_simulate(self, params: DiseaseParameters, seed: int,
+                        end_day: int, *, engine: str = "binomial_leap",
+                        **engine_options) -> Trajectory:
+        """Cached simulation from day 0 (the baselines' access pattern)."""
+        cached = self.get(params, seed, 0, end_day)
+        if cached is not None:
+            return cached
+        from ..seir.model import StochasticSEIRModel  # local: avoid cycle
+        model = StochasticSEIRModel(params, seed, engine=engine, **engine_options)
+        trajectory = model.run_until(end_day)
+        self.put(params, seed, 0, end_day, trajectory)
+        return trajectory
+
+    def clear(self) -> None:
+        self._store.clear()

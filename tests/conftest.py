@@ -1,0 +1,26 @@
+"""Shared fixtures: small, fast parameterisations for unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seir import DiseaseParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test randomness."""
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def small_params() -> DiseaseParameters:
+    """A town-scale parameter set that keeps simulations in milliseconds."""
+    return DiseaseParameters(population=20_000, initial_exposed=40)
+
+
+@pytest.fixture
+def tiny_params() -> DiseaseParameters:
+    """A village-scale set for the exact (event-count-bound) engines."""
+    return DiseaseParameters(population=2_000, initial_exposed=20)

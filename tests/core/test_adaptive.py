@@ -1,0 +1,140 @@
+"""Unit tests for the adaptive SMC extensions (paper section VI mitigations)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (adaptive_jitter_width, effective_sample_size,
+                        ess_triggered_resample, normalize_log_weights,
+                        temper_and_resample, tempered_weight_schedule)
+
+
+class TestTemperingSchedule:
+    def test_flat_likelihood_single_stage(self):
+        schedule = tempered_weight_schedule(np.full(100, -3.0))
+        assert schedule == [1.0]
+
+    def test_mildly_peaked_single_stage(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        ll = rng.normal(-10, 0.1, size=200)
+        assert tempered_weight_schedule(ll) == [1.0]
+
+    def test_sharp_likelihood_multiple_stages(self):
+        ll = np.full(200, -1000.0)
+        ll[:3] = 0.0  # three dominant particles
+        schedule = tempered_weight_schedule(ll, ess_floor_fraction=0.5)
+        assert len(schedule) > 1
+        assert schedule[-1] == 1.0
+
+    def test_schedule_strictly_increasing(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        ll = -0.5 * rng.exponential(50, size=300)
+        schedule = tempered_weight_schedule(ll)
+        assert all(b2 > b1 for b1, b2 in zip(schedule, schedule[1:]))
+        assert schedule[-1] == 1.0
+
+    def test_each_stage_respects_ess_floor(self):
+        rng = np.random.Generator(np.random.PCG64(3))
+        ll = -0.5 * rng.exponential(80, size=400)
+        floor = 0.5
+        schedule = tempered_weight_schedule(ll, ess_floor_fraction=floor)
+        beta_prev = 0.0
+        for beta in schedule[:-1]:  # last stage may be the forced jump to 1
+            w = normalize_log_weights((beta - beta_prev) * ll)
+            assert effective_sample_size(w) >= floor * ll.size * 0.98
+            beta_prev = beta
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tempered_weight_schedule(np.zeros(5), ess_floor_fraction=0.0)
+        with pytest.raises(ValueError):
+            tempered_weight_schedule(np.array([]))
+
+
+class TestTemperAndResample:
+    def test_indices_shape_and_range(self, rng):
+        ll = np.linspace(-40, 0, 300)
+        out = temper_and_resample(ll, 150, rng)
+        assert out.indices.shape == (150,)
+        assert out.indices.min() >= 0
+        assert out.indices.max() < 300
+
+    def test_concentrates_on_high_likelihood(self, rng):
+        ll = np.full(200, -500.0)
+        ll[190:] = 0.0
+        out = temper_and_resample(ll, 100, rng)
+        assert np.all(out.indices >= 190)
+
+    def test_flat_case_reduces_to_plain_resampling(self, rng):
+        ll = np.zeros(50)
+        out = temper_and_resample(ll, 50, rng)
+        assert out.n_stages == 1
+        # uniform weights: systematic resampling yields a permutation-ish set
+        assert len(np.unique(out.indices)) == 50
+
+    def test_stage_ess_recorded(self, rng):
+        ll = np.full(200, -900.0)
+        ll[:5] = 0.0
+        out = temper_and_resample(ll, 100, rng)
+        assert len(out.stage_ess) == out.n_stages
+        assert all(e >= 1.0 for e in out.stage_ess)
+
+    def test_tempering_beats_plain_resampling_on_ancestors(self, rng):
+        """The point of tempering: more surviving ancestors for the same
+        peaked likelihood."""
+        rng2 = np.random.Generator(np.random.PCG64(9))
+        ll = -0.5 * np.linspace(0, 30, 500) ** 2
+        plain_w = normalize_log_weights(ll)
+        from repro.core import multinomial_resample
+        plain = len(np.unique(multinomial_resample(plain_w, 500, rng2)))
+        tempered = len(np.unique(
+            temper_and_resample(ll, 500, rng, ess_floor_fraction=0.7).indices))
+        assert tempered >= plain
+
+
+class TestAdaptiveJitterWidth:
+    def test_scales_with_spread(self, rng):
+        narrow = adaptive_jitter_width(rng.normal(0.3, 0.01, 500))
+        wide = adaptive_jitter_width(rng.normal(0.3, 0.1, 500))
+        assert wide > narrow
+
+    def test_floor_applied(self):
+        width = adaptive_jitter_width(np.full(100, 0.3) + 1e-12,
+                                      floor=0.005)
+        assert width == 0.005
+
+    def test_scale_multiplier(self, rng):
+        v = rng.normal(0.3, 0.05, 400)
+        assert adaptive_jitter_width(v, scale=2.0) == pytest.approx(
+            2 * adaptive_jitter_width(v))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_jitter_width(np.array([0.3]))
+
+
+class TestEssTriggeredResample:
+    def test_healthy_weights_pass_through(self, rng):
+        lw = np.zeros(100)
+        idx, new_lw, resampled = ess_triggered_resample(lw, 100, rng)
+        assert not resampled
+        assert np.array_equal(idx, np.arange(100))
+        assert np.array_equal(new_lw, lw)
+
+    def test_degenerate_weights_resampled(self, rng):
+        lw = np.full(100, -1000.0)
+        lw[0] = 0.0
+        idx, new_lw, resampled = ess_triggered_resample(lw, 100, rng)
+        assert resampled
+        assert np.all(idx == 0)
+        assert np.all(new_lw == 0.0)
+
+    def test_size_change_forces_resample(self, rng):
+        lw = np.zeros(100)
+        idx, _, resampled = ess_triggered_resample(lw, 50, rng)
+        assert resampled
+        assert idx.shape == (50,)
+
+    def test_threshold_validated(self, rng):
+        with pytest.raises(ValueError):
+            ess_triggered_resample(np.zeros(10), 10, rng,
+                                   threshold_fraction=0.0)

@@ -1,0 +1,133 @@
+"""Unit tests for R_t estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.reproduction_number import (cori_rt,
+                                            discretised_serial_interval,
+                                            mean_infectious_days, model_rt)
+from repro.data import TimeSeries
+from repro.seir import DiseaseParameters, StochasticSEIRModel
+
+
+class TestMeanInfectiousDays:
+    def test_consistent_with_r0(self):
+        p = DiseaseParameters()
+        assert p.transmission_rate * mean_infectious_days(p) == \
+            pytest.approx(p.basic_reproduction_number())
+
+    def test_longer_infection_increases(self):
+        short = DiseaseParameters(mild_period_days=4.0)
+        long = DiseaseParameters(mild_period_days=8.0)
+        assert mean_infectious_days(long) > mean_infectious_days(short)
+
+
+class TestModelRt:
+    @pytest.fixture(scope="class")
+    def run(self):
+        params = DiseaseParameters(population=30_000, initial_exposed=100,
+                                   transmission_rate=0.35)
+        model = StochasticSEIRModel(params, seed=5)
+        return params, model.run_until(120)
+
+    def test_starts_near_r0(self, run):
+        params, traj = run
+        rt = model_rt(traj, params, params.transmission_rate)
+        assert rt.value_on(0) == pytest.approx(
+            params.basic_reproduction_number(), rel=0.02)
+
+    def test_declines_with_susceptible_depletion(self, run):
+        params, traj = run
+        rt = model_rt(traj, params, params.transmission_rate)
+        assert rt.values[-1] < rt.values[0]
+        assert np.all(np.diff(rt.values) <= 1e-12)  # monotone non-increasing
+
+    def test_nonnegative(self, run):
+        params, traj = run
+        rt = model_rt(traj, params, params.transmission_rate)
+        assert np.all(rt.values >= 0)
+
+    def test_per_day_theta_array(self, run):
+        params, traj = run
+        theta = np.full(len(traj), 0.0)
+        rt = model_rt(traj, params, theta)
+        assert rt.total() == 0.0
+
+    def test_empty_rejected(self):
+        from repro.seir import Trajectory
+        with pytest.raises(ValueError):
+            model_rt(Trajectory.empty(0), DiseaseParameters(), 0.3)
+
+
+class TestSerialInterval:
+    def test_pmf_properties(self):
+        w = discretised_serial_interval()
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+        assert len(w) == 21
+
+    def test_mean_close_to_target(self):
+        w = discretised_serial_interval(mean_days=6.5, sd_days=3.0,
+                                        max_days=40)
+        mean = float((np.arange(1, 41) * w).sum())
+        assert mean == pytest.approx(6.5, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            discretised_serial_interval(mean_days=0)
+
+
+class TestCoriRt:
+    def test_exponential_growth_rt_above_one(self):
+        days = np.arange(60)
+        incidence = TimeSeries(0, 10 * np.exp(0.08 * days))
+        rt = cori_rt(incidence)
+        late = rt.values[~np.isnan(rt.values)][-10:]
+        assert np.all(late > 1.0)
+
+    def test_exponential_decay_rt_below_one(self):
+        days = np.arange(60)
+        incidence = TimeSeries(0, 500 * np.exp(-0.08 * days))
+        rt = cori_rt(incidence)
+        late = rt.values[~np.isnan(rt.values)][-10:]
+        assert np.all(late < 1.0)
+
+    def test_flat_incidence_rt_near_one(self):
+        incidence = TimeSeries(0, np.full(60, 200.0))
+        rt = cori_rt(incidence)
+        late = rt.values[~np.isnan(rt.values)][-10:]
+        assert np.allclose(late, 1.0, atol=0.1)
+
+    def test_early_days_nan(self):
+        incidence = TimeSeries(0, np.full(20, 100.0))
+        rt = cori_rt(incidence, window_days=7)
+        assert np.all(np.isnan(rt.values[:7]))
+
+    def test_constant_thinning_leaves_rt_unbiased(self):
+        """Binomial thinning with constant rho barely moves Cori R_t —
+        the bias appears when rho *changes* (the paper's scenario)."""
+        days = np.arange(60)
+        true = TimeSeries(0, 100 * np.exp(0.05 * days))
+        thinned = TimeSeries(0, 0.5 * true.values)
+        rt_true = cori_rt(true).values
+        rt_thin = cori_rt(thinned).values
+        mask = ~np.isnan(rt_true)
+        assert np.allclose(rt_true[mask], rt_thin[mask], rtol=0.01)
+
+    def test_rho_shift_biases_rt(self):
+        """A reporting-rate improvement masquerades as transmission growth —
+        the exact artefact joint (theta, rho) estimation removes."""
+        days = np.arange(60)
+        true_vals = np.full(60, 1000.0)
+        rho = np.where(days < 30, 0.5, 0.9)
+        observed = TimeSeries(0, true_vals * rho)
+        rt = cori_rt(observed).values
+        # Around the rho jump the naive estimator reads spurious R_t > 1.
+        assert np.nanmax(rt[30:40]) > 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cori_rt(TimeSeries(0, np.ones(10)), window_days=0)
+        with pytest.raises(ValueError):
+            cori_rt(TimeSeries(0, np.ones(10)),
+                    serial_interval=np.array([-1.0, 2.0]))

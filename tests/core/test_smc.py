@@ -1,0 +1,200 @@
+"""Unit tests for the sequential calibrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (SequentialCalibrator, SMCConfig, UniformJitter,
+                        JointJitter, IndependentProduct, Uniform, Beta, Dirac,
+                        WindowSchedule, paper_observation_model,
+                        paper_first_window_prior, paper_window_jitter)
+from repro.sim import make_ground_truth
+from repro.data import PiecewiseConstant
+
+
+@pytest.fixture(scope="module")
+def small_truth():
+    from repro.seir import DiseaseParameters
+    params = DiseaseParameters(population=50_000, initial_exposed=100)
+    return make_ground_truth(params=params, horizon=35, seed=555,
+                             theta_schedule=PiecewiseConstant.constant(0.30),
+                             rho_schedule=PiecewiseConstant.constant(0.7))
+
+
+def calibrator(schedule, truth, config=None, **kwargs):
+    return SequentialCalibrator(
+        base_params=truth.params,
+        prior=paper_first_window_prior(),
+        jitter=paper_window_jitter(),
+        observation_model=paper_observation_model(),
+        schedule=schedule,
+        config=config or SMCConfig(n_parameter_draws=30, n_replicates=2,
+                                   resample_size=40, base_seed=17),
+        **kwargs)
+
+
+class TestConfigValidation:
+    def test_sizes_validated(self):
+        with pytest.raises(ValueError):
+            SMCConfig(n_parameter_draws=0)
+        with pytest.raises(ValueError):
+            SMCConfig(resample_size=0)
+
+    def test_resampler_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            SMCConfig(resampler="bogus")
+
+    def test_ensemble_size_properties(self):
+        cfg = SMCConfig(n_parameter_draws=10, n_replicates=3,
+                        resample_size=7, n_continuations=2)
+        assert cfg.first_window_ensemble_size == 30
+        assert cfg.continuation_ensemble_size == 14
+
+
+class TestCalibratorValidation:
+    def test_prior_must_include_rho(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20])
+        prior = IndependentProduct({"theta": Uniform(0.1, 0.5)})
+        with pytest.raises(ValueError, match="rho"):
+            SequentialCalibrator(small_truth.params, prior,
+                                 paper_window_jitter(),
+                                 paper_observation_model(), schedule)
+
+    def test_rho_cannot_be_mapped_to_simulator(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20])
+        with pytest.raises(ValueError, match="bias parameter"):
+            calibrator(schedule, small_truth,
+                       param_map={"theta": "transmission_rate",
+                                  "rho": "mild_fraction"})
+
+    def test_param_map_restricted_to_restart_knobs(self, small_truth):
+        """The paper only allows six fields to change at a restart."""
+        schedule = WindowSchedule.from_breaks([10, 20])
+        prior = IndependentProduct({"theta": Uniform(0.1, 0.5),
+                                    "rho": Beta(4, 1),
+                                    "latent": Uniform(2, 4)})
+        jitter = JointJitter({n: UniformJitter.symmetric(0.02)
+                              for n in ("theta", "rho", "latent")})
+        with pytest.raises(ValueError, match="not checkpoint-restartable"):
+            SequentialCalibrator(small_truth.params, prior, jitter,
+                                 paper_observation_model(), schedule,
+                                 param_map={"theta": "transmission_rate",
+                                            "latent": "latent_period_days"})
+
+    def test_jitter_required_for_multi_window(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
+        prior = paper_first_window_prior()
+        jitter = JointJitter({"theta": UniformJitter.symmetric(0.05)})
+        with pytest.raises(ValueError, match="jitter"):
+            SequentialCalibrator(small_truth.params, prior, jitter,
+                                 paper_observation_model(), schedule)
+
+    def test_observation_coverage_checked(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 40])  # beyond horizon 35
+        calib = calibrator(schedule, small_truth)
+        with pytest.raises(ValueError, match="cover"):
+            calib.run(small_truth.observations())
+
+
+class TestSingleWindowRun:
+    @pytest.fixture(scope="class")
+    def result(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 24])
+        calib = calibrator(schedule, small_truth)
+        return calib.run(small_truth.observations())[0]
+
+    def test_posterior_size(self, result):
+        assert len(result.posterior) == 40
+
+    def test_posterior_weights_uniform_after_resampling(self, result):
+        assert np.allclose(result.posterior.log_weights(), 0.0)
+
+    def test_posterior_within_prior_support(self, result):
+        theta = result.posterior.values("theta")
+        rho = result.posterior.values("rho")
+        assert np.all((theta >= 0.1) & (theta <= 0.5))
+        assert np.all((rho >= 0.0) & (rho <= 1.0))
+
+    def test_particles_carry_checkpoints_at_window_end(self, result):
+        for p in result.posterior:
+            assert p.checkpoint is not None
+            assert p.checkpoint.day == 24
+
+    def test_segments_cover_window(self, result):
+        for p in result.posterior:
+            assert p.segment.start_day == 10
+            assert p.segment.end_day == 24
+            assert p.history.start_day == 0
+
+    def test_diagnostics_populated(self, result):
+        d = result.diagnostics
+        assert d.n_particles == 60
+        assert 0 < d.ess <= 60
+        assert np.isfinite(d.log_evidence)
+
+    def test_summary_structure(self, result):
+        s = result.summary()
+        assert "theta" in s and "rho" in s
+        # The median (unlike the mean) always lies inside the 90% interval.
+        assert s["theta"]["ci90"][0] <= s["theta"]["median"] <= s["theta"]["ci90"][1]
+
+
+class TestSequentialRun:
+    @pytest.fixture(scope="class")
+    def results(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
+        calib = calibrator(schedule, small_truth)
+        return calib.run(small_truth.observations())
+
+    def test_one_result_per_window(self, results):
+        assert len(results) == 2
+        assert results[0].window.label() == "Days 10-19"
+        assert results[1].window.label() == "Days 20-29"
+
+    def test_second_window_histories_extend(self, results):
+        for p in results[1].posterior:
+            assert p.history.start_day == 0
+            assert p.history.end_day == 30
+            assert p.segment.start_day == 20
+
+    def test_checkpoints_advance(self, results):
+        assert results[0].posterior[0].checkpoint.day == 20
+        assert results[1].posterior[0].checkpoint.day == 30
+
+    def test_continuation_seeds_fresh(self, results):
+        s0 = set(results[0].posterior.seeds().tolist())
+        s1 = set(results[1].posterior.seeds().tolist())
+        assert not (s0 & s1)
+
+    def test_reproducible_given_base_seed(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20])
+        r1 = calibrator(schedule, small_truth).run(small_truth.observations())
+        r2 = calibrator(schedule, small_truth).run(small_truth.observations())
+        assert np.array_equal(r1[0].posterior.values("theta"),
+                              r2[0].posterior.values("theta"))
+
+    def test_weighted_ensemble_kept_when_requested(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20])
+        cfg = SMCConfig(n_parameter_draws=10, n_replicates=2,
+                        resample_size=10, keep_weighted_ensemble=True)
+        res = calibrator(schedule, small_truth, config=cfg).run(
+            small_truth.observations())
+        assert res[0].weighted_ensemble is not None
+        assert len(res[0].weighted_ensemble) == 20
+
+
+class TestRecovery:
+    def test_theta_recovered_with_pinned_rho(self, small_truth):
+        """With rho pinned at truth, theta must concentrate near 0.30."""
+        schedule = WindowSchedule.from_breaks([10, 24])
+        prior = IndependentProduct({"theta": Uniform(0.1, 0.5),
+                                    "rho": Dirac(0.7)})
+        calib = SequentialCalibrator(
+            base_params=small_truth.params, prior=prior,
+            jitter=paper_window_jitter(),
+            observation_model=paper_observation_model(bias_mode="mean"),
+            schedule=schedule,
+            config=SMCConfig(n_parameter_draws=60, n_replicates=3,
+                             resample_size=60, base_seed=23))
+        result = calib.run(small_truth.observations())[0]
+        assert result.posterior.weighted_mean("theta") == pytest.approx(
+            0.30, abs=0.06)

@@ -1,0 +1,167 @@
+"""Unit tests for time windows and particle ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Particle, ParticleEnsemble, TimeWindow, WindowSchedule,
+                        paper_window_schedule)
+from repro.seir import Trajectory
+
+
+class TestTimeWindow:
+    def test_basics(self):
+        w = TimeWindow(20, 34)
+        assert w.n_days == 14
+        assert w.contains_day(20)
+        assert w.contains_day(33)
+        assert not w.contains_day(34)
+
+    def test_label_matches_paper_style(self):
+        assert TimeWindow(20, 34).label() == "Days 20-33"
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(5, 5)
+
+    def test_round_trip(self):
+        w = TimeWindow(3, 9)
+        assert TimeWindow.from_dict(w.to_dict()) == w
+
+
+class TestWindowSchedule:
+    def test_from_breaks(self):
+        s = WindowSchedule.from_breaks([20, 34, 48])
+        assert len(s) == 2
+        assert s[0] == TimeWindow(20, 34)
+        assert s.start_day == 20
+        assert s.end_day == 48
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            WindowSchedule(windows=(TimeWindow(0, 10), TimeWindow(11, 20)))
+
+    def test_burn_in_after_first_window_rejected(self):
+        with pytest.raises(ValueError, match="burn-in"):
+            WindowSchedule.from_breaks([20, 34], burn_in_start=25)
+
+    def test_window_of_day(self):
+        s = WindowSchedule.from_breaks([20, 34, 48])
+        assert s.window_of_day(20) == 0
+        assert s.window_of_day(34) == 1
+        with pytest.raises(ValueError):
+            s.window_of_day(48)
+
+    def test_round_trip(self):
+        s = WindowSchedule.from_breaks([20, 34, 48], burn_in_start=5)
+        restored = WindowSchedule.from_dict(s.to_dict())
+        assert restored == s
+
+    def test_paper_schedule(self):
+        """Figures 4-5: windows 20-33, 34-47, 48-61, 62-75 with burn-in 0."""
+        s = paper_window_schedule()
+        assert len(s) == 4
+        assert [w.label() for w in s] == ["Days 20-33", "Days 34-47",
+                                          "Days 48-61", "Days 62-75"]
+        assert s.burn_in_start == 0
+
+
+def particle(theta=0.3, rho=0.8, seed=1, lw=0.0, n_days=5, start=0):
+    traj = Trajectory(start, np.ones(n_days), np.zeros(n_days),
+                      np.zeros(n_days), np.zeros(n_days))
+    return Particle(params={"theta": theta, "rho": rho}, seed=seed,
+                    log_weight=lw, segment=traj, history=traj)
+
+
+class TestParticle:
+    def test_value_accessor(self):
+        p = particle(theta=0.25)
+        assert p.value("theta") == 0.25
+        with pytest.raises(KeyError):
+            p.value("zeta")
+
+    def test_with_weight(self):
+        p = particle().with_weight(-3.0)
+        assert p.log_weight == -3.0
+
+
+class TestParticleEnsemble:
+    def test_values_and_names(self):
+        ens = ParticleEnsemble([particle(theta=0.1), particle(theta=0.2)])
+        assert np.allclose(ens.values("theta"), [0.1, 0.2])
+        assert ens.param_names == ("rho", "theta")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleEnsemble([])
+
+    def test_mismatched_params_rejected(self):
+        a = particle()
+        b = Particle(params={"theta": 0.3}, seed=1)
+        with pytest.raises(ValueError, match="disagree"):
+            ParticleEnsemble([a, b])
+
+    def test_uniform_weights_by_default(self):
+        ens = ParticleEnsemble([particle(), particle()])
+        assert np.allclose(ens.normalized_weights(), 0.5)
+        assert ens.effective_sample_size() == pytest.approx(2.0)
+
+    def test_weighted_mean_respects_weights(self):
+        ens = ParticleEnsemble([particle(theta=0.0, lw=0.0),
+                                particle(theta=1.0, lw=-1e9)])
+        assert ens.weighted_mean("theta") == pytest.approx(0.0)
+
+    def test_credible_interval_ordering(self):
+        rng = np.random.Generator(np.random.PCG64(3))
+        parts = [particle(theta=float(t)) for t in rng.normal(0.3, 0.05, 200)]
+        ens = ParticleEnsemble(parts)
+        lo50, hi50 = ens.credible_interval("theta", 0.5)
+        lo90, hi90 = ens.credible_interval("theta", 0.9)
+        assert lo90 <= lo50 <= hi50 <= hi90
+
+    def test_credible_interval_level_validated(self):
+        ens = ParticleEnsemble([particle()])
+        with pytest.raises(ValueError):
+            ens.credible_interval("theta", 1.5)
+
+    def test_select_resets_weights_and_tracks_ancestors(self):
+        ens = ParticleEnsemble([particle(theta=0.1, lw=-5.0),
+                                particle(theta=0.2, lw=-1.0)])
+        out = ens.select([1, 1, 0])
+        assert len(out) == 3
+        assert np.allclose(out.log_weights(), 0.0)
+        assert out[0].params["theta"] == 0.2
+        assert out[0].ancestor == 1
+        assert out.unique_ancestors() == 2
+
+    def test_trajectories_accessor(self):
+        ens = ParticleEnsemble([particle(), particle()])
+        assert len(ens.trajectories("segment")) == 2
+        assert len(ens.trajectories("history")) == 2
+        with pytest.raises(ValueError):
+            ens.trajectories("future")
+
+    def test_missing_trajectory_raises(self):
+        ens = ParticleEnsemble([Particle(params={"theta": 1.0}, seed=1)])
+        with pytest.raises(ValueError, match="missing"):
+            ens.trajectories("segment")
+
+    def test_params_matrix_column_order(self):
+        ens = ParticleEnsemble([particle(theta=0.1, rho=0.9)])
+        mat = ens.params_matrix()
+        # param_names sorted: rho first, theta second
+        assert mat.shape == (1, 2)
+        assert mat[0, 0] == 0.9
+        assert mat[0, 1] == 0.1
+
+    def test_from_param_arrays(self):
+        ens = ParticleEnsemble.from_param_arrays(
+            {"theta": np.array([0.1, 0.2]), "rho": np.array([0.5, 0.6])},
+            seeds=np.array([7, 8]))
+        assert len(ens) == 2
+        assert ens[1].seed == 8
+        assert ens[1].params["rho"] == 0.6
+
+    def test_from_param_arrays_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ParticleEnsemble.from_param_arrays(
+                {"theta": np.array([0.1, 0.2])}, seeds=np.array([1]))

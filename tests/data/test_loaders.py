@@ -1,0 +1,135 @@
+"""Unit tests for CSV observation loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (load_series_csv, load_wide_csv,
+                        observation_set_from_csv, TimeSeries)
+from repro.viz import write_series_csv
+
+
+@pytest.fixture
+def wide_csv(tmp_path):
+    path = tmp_path / "wide.csv"
+    path.write_text("day,cases,deaths\n3,10,0\n4,12,1\n5,15,0\n")
+    return path
+
+
+@pytest.fixture
+def tidy_csv(tmp_path):
+    path = tmp_path / "tidy.csv"
+    path.write_text("day,series,value\n3,cases,10\n4,cases,12\n"
+                    "3,deaths,0\n4,deaths,1\n")
+    return path
+
+
+class TestWideLoader:
+    def test_loads_streams(self, wide_csv):
+        out = load_wide_csv(wide_csv)
+        assert set(out) == {"cases", "deaths"}
+        assert out["cases"].start_day == 3
+        assert list(out["cases"].values) == [10.0, 12.0, 15.0]
+
+    def test_missing_day_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,cases\n1,2\n")
+        with pytest.raises(ValueError, match="'day'"):
+            load_wide_csv(path)
+
+    def test_no_stream_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("day\n1\n")
+        with pytest.raises(ValueError, match="no stream"):
+            load_wide_csv(path)
+
+    def test_empty_cells_are_gaps(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("day,cases\n1,5\n2,\n3,7\n")
+        with pytest.raises(ValueError, match="missing days"):
+            load_wide_csv(path)
+        out = load_wide_csv(path, fill_gaps=0.0)
+        assert list(out["cases"].values) == [5.0, 0.0, 7.0]
+
+
+class TestTidyLoader:
+    def test_loads_streams(self, tidy_csv):
+        out = load_series_csv(tidy_csv)
+        assert set(out) == {"cases", "deaths"}
+        assert list(out["deaths"].values) == [0.0, 1.0]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("day,value\n1,2\n")
+        with pytest.raises(ValueError, match="needs columns"):
+            load_series_csv(path)
+
+    def test_duplicate_days_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("day,series,value\n1,cases,2\n1,cases,3\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            load_series_csv(path)
+
+    def test_gap_detection(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("day,series,value\n1,cases,2\n3,cases,3\n")
+        with pytest.raises(ValueError, match="missing days"):
+            load_series_csv(path)
+        out = load_series_csv(path, fill_gaps=0.0)
+        assert list(out["cases"].values) == [2.0, 0.0, 3.0]
+
+    def test_round_trip_with_export(self, tmp_path):
+        path = tmp_path / "rt.csv"
+        original = {"cases": TimeSeries(2, [4.0, 5.0], name="cases")}
+        write_series_csv(path, original)
+        out = load_series_csv(path)
+        assert out["cases"] == TimeSeries(2, [4.0, 5.0], name="cases")
+
+
+class TestObservationSetFromCsv:
+    def test_default_paper_wiring(self, wide_csv):
+        obs = observation_set_from_csv(wide_csv)
+        assert obs["cases"].biased
+        assert not obs["deaths"].biased
+        assert obs["deaths"].channel == "deaths"
+
+    def test_tidy_layout(self, tidy_csv):
+        obs = observation_set_from_csv(tidy_csv, layout="tidy")
+        assert set(obs.names) == {"cases", "deaths"}
+
+    def test_unknown_layout(self, wide_csv):
+        with pytest.raises(ValueError, match="layout"):
+            observation_set_from_csv(wide_csv, layout="jsonl")
+
+    def test_unconfigured_stream_rejected(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("day,cases,hospital\n1,2,3\n")
+        with pytest.raises(ValueError, match="no channel/bias"):
+            observation_set_from_csv(path)
+
+    def test_custom_stream_config(self, tmp_path):
+        path = tmp_path / "icu.csv"
+        path.write_text("day,icu\n1,3\n2,4\n")
+        obs = observation_set_from_csv(
+            path, stream_config={"icu": ("icu_census", False)})
+        assert obs["icu"].channel == "icu_census"
+        assert not obs["icu"].biased
+
+    def test_calibration_from_csv_runs(self, tmp_path):
+        """End-to-end: export synthetic observations, reload, calibrate."""
+        from repro.data import PiecewiseConstant
+        from repro.inference import CalibrationConfig, calibrate
+        from repro.seir import DiseaseParameters
+        from repro.sim import make_ground_truth
+
+        params = DiseaseParameters(population=30_000, initial_exposed=60)
+        truth = make_ground_truth(
+            params=params, horizon=20, seed=5,
+            theta_schedule=PiecewiseConstant.constant(0.3),
+            rho_schedule=PiecewiseConstant.constant(0.7))
+        path = tmp_path / "obs.csv"
+        write_series_csv(path, {"cases": truth.observed_cases})
+        obs = observation_set_from_csv(path, layout="tidy")
+        cfg = CalibrationConfig(window_breaks=(8, 20), n_parameter_draws=10,
+                                n_replicates=2, resample_size=10, base_seed=3)
+        result = calibrate(obs, cfg, base_params=params)
+        assert result.n_windows == 1

@@ -1,0 +1,84 @@
+"""Unit tests for the parallel checkpoint store."""
+
+import pytest
+
+from repro.hpc import CheckpointStore
+from repro.seir import CheckpointError, StochasticSEIRModel
+
+
+@pytest.fixture
+def checkpoints(small_params):
+    out = []
+    for seed in range(3):
+        model = StochasticSEIRModel(small_params, seed)
+        model.run_until(10)
+        out.append(model.checkpoint())
+    return out
+
+
+class TestCheckpointStore:
+    def test_save_and_load_particle(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path, run_id="test")
+        store.save(0, 0, checkpoints[0])
+        loaded = store.load(0, 0)
+        assert loaded.day == checkpoints[0].day
+        assert loaded.seed == checkpoints[0].seed
+
+    def test_save_window_bulk(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        assert store.particle_count(0) == 3
+        loaded = store.load_window(0)
+        assert [c.seed for c in loaded] == [c.seed for c in checkpoints]
+
+    def test_load_missing_particle(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="missing"):
+            store.load(0, 0)
+
+    def test_load_missing_window(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            store.load_window(5)
+
+    def test_particle_count_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path).particle_count(2) == 0
+
+    def test_manifest_tracks_windows(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path, run_id="runA")
+        store.save_window(0, checkpoints[:2])
+        store.save_window(1, checkpoints)
+        manifest = store.read_manifest()
+        assert manifest.run_id == "runA"
+        assert manifest.windows == {0: 2, 1: 3}
+        assert manifest.latest_window() == 1
+
+    def test_manifest_empty(self, tmp_path):
+        manifest = CheckpointStore(tmp_path).read_manifest()
+        assert manifest.windows == {}
+        assert manifest.latest_window() is None
+
+    def test_latest_restart_point(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        assert store.latest_restart_point() is None
+        store.save_window(0, checkpoints)
+        store.save_window(1, checkpoints[:1])
+        window, cps = store.latest_restart_point()
+        assert window == 1
+        assert len(cps) == 1
+
+    def test_restart_from_stored_checkpoint_runs(self, tmp_path, checkpoints,
+                                                 small_params):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, checkpoints[0])
+        loaded = store.load(0, 0)
+        model = StochasticSEIRModel.from_checkpoint(loaded)
+        traj = model.run_until(15)
+        assert traj.start_day == 10
+
+    def test_negative_indices_rejected(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save(-1, 0, checkpoints[0])
+        with pytest.raises(ValueError):
+            store.save(0, -1, checkpoints[0])

@@ -1,0 +1,106 @@
+"""Unit tests for execution backends."""
+
+import os
+
+import pytest
+
+from repro.hpc import (ProcessExecutor, SerialExecutor, ThreadExecutor,
+                       default_executor, make_executor)
+from repro.hpc.executor import _auto_chunksize
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_three(x):
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+class TestSerialExecutor:
+    def test_map_order(self):
+        ex = SerialExecutor()
+        assert ex.map(square, range(5)) == [0, 1, 4, 9, 16]
+        assert ex.workers == 1
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            SerialExecutor().map(fail_on_three, [1, 2, 3])
+
+    def test_empty(self):
+        assert SerialExecutor().map(square, []) == []
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map(square, [2]) == [4]
+
+
+class TestProcessExecutor:
+    def test_map_order_preserved(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.map(square, range(20)) == [x * x for x in range(20)]
+
+    def test_exception_propagates(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(RuntimeError, match="boom"):
+                ex.map(fail_on_three, [1, 2, 3, 4])
+
+    def test_pool_reused_across_maps(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            ex.map(square, [1])
+            pool_a = ex._pool
+            ex.map(square, [2])
+            assert ex._pool is pool_a
+
+    def test_close_idempotent(self):
+        ex = ProcessExecutor(max_workers=1)
+        ex.map(square, [1])
+        ex.close()
+        ex.close()
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+    def test_empty(self):
+        with ProcessExecutor(max_workers=1) as ex:
+            assert ex.map(square, []) == []
+
+
+class TestThreadExecutor:
+    def test_map(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            assert ex.map(square, range(6)) == [x * x for x in range(6)]
+            assert ex.workers == 2
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=-1)
+
+
+class TestFactories:
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("process", max_workers=1),
+                          ProcessExecutor)
+        assert isinstance(make_executor("thread", max_workers=1),
+                          ThreadExecutor)
+
+    def test_make_executor_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_default_small_workload_serial(self):
+        assert isinstance(default_executor(n_tasks_hint=4), SerialExecutor)
+
+    def test_default_large_workload_parallel_when_multicore(self):
+        ex = default_executor(n_tasks_hint=10_000)
+        if (os.cpu_count() or 1) > 1:
+            assert isinstance(ex, ProcessExecutor)
+        ex.close()
+
+    def test_auto_chunksize(self):
+        assert _auto_chunksize(1000, 2) == 125
+        assert _auto_chunksize(3, 8) == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the MPI-like SPMD communicator.
+
+SPMD functions must be module-level so they can be pickled/forked to
+worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpc import SpmdError, run_spmd
+from repro.hpc.partition import block_partition
+
+
+def spmd_identity(comm):
+    return (comm.rank, comm.size)
+
+
+def spmd_bcast(comm):
+    payload = {"msg": "hello"} if comm.rank == 0 else None
+    return comm.bcast(payload, root=0)
+
+
+def spmd_scatter_gather(comm):
+    chunks = [[i, i * 10] for i in range(comm.size)] if comm.rank == 0 else None
+    mine = comm.scatter(chunks, root=0)
+    return comm.gather(sum(mine), root=0)
+
+
+def spmd_allgather(comm):
+    return comm.allgather(comm.rank * 2)
+
+
+def spmd_allreduce(comm):
+    return (comm.allreduce(comm.rank + 1, op="sum"),
+            comm.allreduce(comm.rank, op="max"),
+            comm.allreduce(float(-comm.rank - 1), op="logsumexp"))
+
+
+def spmd_barrier_then_value(comm):
+    comm.barrier()
+    return comm.rank
+
+
+def spmd_weight_normalisation(comm):
+    """The distributed weight-normalisation pattern of the SMC driver."""
+    all_weights = np.array([-1.0, -2.0, -3.0, -4.0])
+    chunks = block_partition(4, comm.size) if comm.rank == 0 else None
+    mine = comm.scatter(chunks, root=0)
+    local = float(np.logaddexp.reduce(all_weights[mine])) if len(mine) else float("-inf")
+    total = comm.allreduce(local, op="logsumexp")
+    return total
+
+
+def spmd_raises(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    return comm.rank
+
+
+class TestRunSpmd:
+    def test_ranks_and_size(self):
+        out = run_spmd(spmd_identity, 3)
+        assert out == [(0, 3), (1, 3), (2, 3)]
+
+    def test_single_rank(self):
+        assert run_spmd(spmd_identity, 1) == [(0, 1)]
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            run_spmd(spmd_identity, 0)
+
+    def test_bcast(self):
+        out = run_spmd(spmd_bcast, 2)
+        assert out == [{"msg": "hello"}, {"msg": "hello"}]
+
+    def test_scatter_gather(self):
+        out = run_spmd(spmd_scatter_gather, 2)
+        assert out[0] == [0 + 0, 1 + 10]
+        assert out[1] is None
+
+    def test_allgather(self):
+        out = run_spmd(spmd_allgather, 3)
+        assert out == [[0, 2, 4]] * 3
+
+    def test_allreduce_ops(self):
+        out = run_spmd(spmd_allreduce, 3)
+        total, biggest, lse = out[0]
+        assert total == 6
+        assert biggest == 2
+        assert lse == pytest.approx(
+            float(np.logaddexp.reduce([-1.0, -2.0, -3.0])))
+        assert all(o == out[0] for o in out)
+
+    def test_barrier(self):
+        assert run_spmd(spmd_barrier_then_value, 2) == [0, 1]
+
+    def test_distributed_weight_normalisation(self):
+        out = run_spmd(spmd_weight_normalisation, 2)
+        expected = float(np.logaddexp.reduce([-1.0, -2.0, -3.0, -4.0]))
+        assert out[0] == pytest.approx(expected)
+        assert out[1] == pytest.approx(expected)
+
+    def test_rank_exception_raises_spmderror(self):
+        with pytest.raises(SpmdError, match="rank 1 exploded"):
+            run_spmd(spmd_raises, 2)

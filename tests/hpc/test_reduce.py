@@ -1,0 +1,87 @@
+"""Unit tests for tree reductions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hpc import (allreduce_sum, logsumexp_pair, merge_logsumexp,
+                       merge_weighted_mean, tree_reduce)
+
+
+class TestTreeReduce:
+    def test_matches_fold_for_associative_op(self):
+        items = list(range(1, 20))
+        assert tree_reduce(items, lambda a, b: a + b) == sum(items)
+
+    def test_single_item(self):
+        assert tree_reduce([42], lambda a, b: a + b) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], lambda a, b: a + b)
+
+    def test_odd_lengths(self):
+        for n in (2, 3, 5, 7, 9):
+            assert tree_reduce(list(range(n)), lambda a, b: a + b) == sum(range(n))
+
+
+class TestLogSumExpMerge:
+    def test_pair_matches_numpy(self):
+        a, b = -3.0, -1.5
+        assert logsumexp_pair(a, b) == pytest.approx(
+            np.log(np.exp(a) + np.exp(b)))
+
+    def test_neg_inf_identity(self):
+        assert logsumexp_pair(-math.inf, -2.0) == -2.0
+        assert logsumexp_pair(-2.0, -math.inf) == -2.0
+        assert logsumexp_pair(-math.inf, -math.inf) == -math.inf
+
+    def test_merge_matches_global(self):
+        rng = np.random.Generator(np.random.PCG64(1))
+        values = rng.normal(-100, 10, size=23)
+        # split into 4 rank-partials then merge
+        partials = [float(np.logaddexp.reduce(chunk))
+                    for chunk in np.array_split(values, 4)]
+        merged = merge_logsumexp(partials)
+        assert merged == pytest.approx(float(np.logaddexp.reduce(values)))
+
+    def test_association_order_irrelevant(self):
+        values = [-5.0, -3.0, -10.0, -1.0, -7.0]
+        left = merge_logsumexp(values)
+        right = merge_logsumexp(list(reversed(values)))
+        assert left == pytest.approx(right)
+
+
+class TestWeightedMeanMerge:
+    def test_matches_global_mean(self):
+        rng = np.random.Generator(np.random.PCG64(2))
+        v = rng.normal(size=40)
+        w = rng.uniform(0.1, 1.0, size=40)
+        partials = []
+        for vi, wi in zip(np.array_split(v, 5), np.array_split(w, 5)):
+            partials.append((float(wi.sum()),
+                             float((vi * wi).sum() / wi.sum())))
+        total, mean = merge_weighted_mean(partials)
+        assert total == pytest.approx(w.sum())
+        assert mean == pytest.approx(float((v * w).sum() / w.sum()))
+
+    def test_zero_weight_partials(self):
+        total, mean = merge_weighted_mean([(0.0, 0.0), (2.0, 5.0)])
+        assert total == 2.0
+        assert mean == 5.0
+
+
+class TestAllreduceSum:
+    def test_sums_arrays(self):
+        arrays = [np.full(4, float(i)) for i in range(5)]
+        out = allreduce_sum(arrays)
+        assert np.allclose(out, 10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_sum([np.zeros(3), np.zeros(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_sum([])

@@ -1,0 +1,83 @@
+"""Unit tests for the scheduling-policy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import (compare_policies, simulate_static,
+                       simulate_work_stealing)
+
+
+class TestStaticScheduling:
+    def test_uniform_costs_balanced(self):
+        res = simulate_static(np.ones(8), 4, "block")
+        assert res.makespan == pytest.approx(2.0)
+        assert res.imbalance == pytest.approx(1.0)
+        assert res.efficiency == pytest.approx(1.0)
+
+    def test_block_suffers_on_gradient(self):
+        costs = np.linspace(1, 10, 10)
+        res = simulate_static(costs, 2, "block")
+        # second block holds the heavy half
+        assert res.worker_finish_times[1] > res.worker_finish_times[0]
+
+    def test_cyclic_balances_gradient(self):
+        costs = np.linspace(1, 10, 10)
+        block = simulate_static(costs, 2, "block")
+        cyclic = simulate_static(costs, 2, "cyclic")
+        assert cyclic.makespan < block.makespan
+
+    def test_assignment_indices_complete(self):
+        res = simulate_static(np.ones(7), 3, "block")
+        merged = sorted(i for part in res.assignments for i in part)
+        assert merged == list(range(7))
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate_static(np.ones(4), 2, "random")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_static(np.array([-1.0]), 2)
+        with pytest.raises(ValueError):
+            simulate_static(np.ones(4), 0)
+
+
+class TestWorkStealing:
+    def test_dynamic_beats_block_on_skew(self):
+        rng = np.random.Generator(np.random.PCG64(9))
+        costs = rng.lognormal(0, 1.2, size=60)
+        block = simulate_static(costs, 4, "block")
+        dyn = simulate_work_stealing(costs, 4)
+        assert dyn.makespan <= block.makespan
+
+    def test_greedy_two_approximation(self):
+        rng = np.random.Generator(np.random.PCG64(10))
+        costs = rng.uniform(1, 5, size=50)
+        res = simulate_work_stealing(costs, 4)
+        lower_bound = max(costs.sum() / 4, costs.max())
+        assert res.makespan <= 2 * lower_bound
+
+    def test_chunked_claiming(self):
+        res = simulate_work_stealing(np.ones(10), 2, chunk=5)
+        assert res.makespan == pytest.approx(5.0)
+
+    def test_all_tasks_assigned_once(self):
+        res = simulate_work_stealing(np.ones(13), 3)
+        merged = sorted(i for part in res.assignments for i in part)
+        assert merged == list(range(13))
+
+    def test_chunk_validated(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(np.ones(4), 2, chunk=0)
+
+
+class TestComparePolicies:
+    def test_all_policies_present(self):
+        out = compare_policies(np.ones(12), 3)
+        assert set(out) == {"static_block", "static_cyclic", "dynamic"}
+
+    def test_total_work_conserved(self):
+        costs = np.linspace(1, 6, 12)
+        out = compare_policies(costs, 3)
+        for res in out.values():
+            assert res.worker_finish_times.sum() == pytest.approx(costs.sum())

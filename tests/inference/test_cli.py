@@ -1,0 +1,49 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.command == "fig2"
+        assert args.horizon == 100
+
+    def test_fig4_knobs(self):
+        args = build_parser().parse_args(
+            ["fig4", "--draws", "50", "--replicates", "2",
+             "--resample", "60", "--executor", "serial"])
+        assert args.draws == 50
+        assert args.replicates == 2
+        assert args.resample == 60
+        assert args.executor == "serial"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestCommands:
+    def test_fig2_writes_series(self, tmp_path, capsys):
+        code = main(["fig2", "--out", str(tmp_path), "--horizon", "30"])
+        assert code == 0
+        assert (tmp_path / "fig2_series.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_fig3_writes_summary(self, tmp_path, capsys):
+        code = main(["fig3", "--out", str(tmp_path), "--draws", "8",
+                     "--replicates", "1", "--resample", "10",
+                     "--executor", "serial"])
+        assert code == 0
+        payload = json.loads((tmp_path / "fig3_summary.json").read_text())
+        assert "theta" in payload
+        assert 0 < payload["ess_fraction"] <= 1

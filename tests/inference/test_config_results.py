@@ -1,0 +1,129 @@
+"""Unit tests for the high-level configuration and result objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import SMCConfig
+from repro.inference import CalibrationConfig, paper_calibration_config
+
+
+class TestCalibrationConfig:
+    def test_defaults_build_core_objects(self):
+        cfg = CalibrationConfig()
+        assert len(cfg.schedule()) == 4
+        assert set(cfg.prior().names) == {"theta", "rho"}
+        assert set(cfg.jitter().names) == {"theta", "rho"}
+        assert set(cfg.observation_model().names) == {"cases", "deaths"}
+        assert isinstance(cfg.smc_config(), SMCConfig)
+
+    def test_paper_schedule_default(self):
+        cfg = paper_calibration_config()
+        labels = [w.label() for w in cfg.schedule()]
+        assert labels == ["Days 20-33", "Days 34-47", "Days 48-61",
+                          "Days 62-75"]
+
+    def test_engine_options_only_for_leap(self):
+        leap = CalibrationConfig(engine="binomial_leap", steps_per_day=2)
+        assert leap.smc_config().engine_options == {"steps_per_day": 2}
+        ssa = CalibrationConfig(engine="gillespie")
+        assert ssa.smc_config().engine_options == {}
+
+    def test_disease_overrides_applied(self):
+        cfg = CalibrationConfig(disease_overrides={"population": 1000,
+                                                   "initial_exposed": 10})
+        assert cfg.disease_params().population == 1000
+
+    def test_round_trip(self):
+        cfg = CalibrationConfig(n_parameter_draws=7, sigma=2.0)
+        restored = CalibrationConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+
+    def test_scaled(self):
+        cfg = CalibrationConfig(n_parameter_draws=100, resample_size=50)
+        big = cfg.scaled(10)
+        assert big.n_parameter_draws == 1000
+        assert big.resample_size == 500
+        assert big.n_replicates == cfg.n_replicates
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig().scaled(0)
+
+    def test_executor_construction(self):
+        ex = CalibrationConfig(executor="serial").make_executor()
+        assert ex.workers == 1
+
+
+class TestCalibrationResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.data import PiecewiseConstant
+        from repro.inference import calibrate
+        from repro.seir import DiseaseParameters
+        from repro.sim import make_ground_truth
+
+        params = DiseaseParameters(population=30_000, initial_exposed=60)
+        truth = make_ground_truth(
+            params=params, horizon=30, seed=11,
+            theta_schedule=PiecewiseConstant.constant(0.3),
+            rho_schedule=PiecewiseConstant.constant(0.7))
+        cfg = CalibrationConfig(window_breaks=(10, 20, 30),
+                                n_parameter_draws=25, n_replicates=2,
+                                resample_size=30, base_seed=2)
+        return calibrate(truth.observations(include_deaths=True), cfg,
+                         base_params=params)
+
+    def test_structure(self, result):
+        assert result.n_windows == 2
+        assert len(result.final_posterior) == 30
+        assert result.wall_time_seconds > 0
+
+    def test_parameter_track(self, result):
+        track = result.parameter_track("theta")
+        assert track.means.shape == (2,)
+        assert track.ci90.shape == (2, 2)
+        assert np.all(track.ci90[:, 0] <= track.ci90[:, 1])
+        assert track.window_labels == ("Days 10-19", "Days 20-29")
+
+    def test_track_covers_helper(self, result):
+        track = result.parameter_track("theta")
+        lo, hi = track.ci90[0]
+        assert track.covers(0, (lo + hi) / 2)
+        assert not track.covers(0, hi + 1.0)
+
+    def test_posterior_ribbon_spans_history(self, result):
+        rib = result.posterior_ribbon("cases")
+        assert rib.start_day == 0
+        assert rib.n_days == 30
+        assert np.all(rib.band(0.05) <= rib.band(0.95))
+
+    def test_window_ribbon(self, result):
+        rib = result.window_ribbon(1, "cases")
+        assert rib.start_day == 20
+        assert rib.n_days == 10
+
+    def test_summary_and_describe(self, result):
+        s = result.summary()
+        assert s["n_windows"] == 2
+        assert "theta" in s["parameters"]
+        text = result.describe()
+        assert "Days 10-19" in text
+
+    def test_save_summary(self, result, tmp_path):
+        import json
+        path = tmp_path / "summary.json"
+        result.save_summary(path)
+        payload = json.loads(path.read_text())
+        assert payload["n_windows"] == 2
+
+    def test_ess_fractions(self, result):
+        fr = result.ess_fractions()
+        assert fr.shape == (2,)
+        assert np.all((fr > 0) & (fr <= 1))
+
+    def test_window_count_mismatch_rejected(self, result):
+        from repro.inference import CalibrationResult
+        with pytest.raises(ValueError):
+            CalibrationResult(schedule=result.schedule,
+                              windows=result.windows[:1],
+                              config_payload={})

@@ -1,0 +1,78 @@
+"""Unit tests for posterior predictive forecasting."""
+
+import pytest
+
+from repro.core import (SMCConfig, SequentialCalibrator, WindowSchedule,
+                        paper_first_window_prior, paper_observation_model,
+                        paper_window_jitter)
+from repro.data import PiecewiseConstant
+from repro.inference import forecast_from_posterior
+from repro.seir import DiseaseParameters
+from repro.sim import make_ground_truth
+
+
+@pytest.fixture(scope="module")
+def posterior():
+    params = DiseaseParameters(population=30_000, initial_exposed=60)
+    truth = make_ground_truth(
+        params=params, horizon=20, seed=11,
+        theta_schedule=PiecewiseConstant.constant(0.3),
+        rho_schedule=PiecewiseConstant.constant(0.7))
+    calib = SequentialCalibrator(
+        base_params=params, prior=paper_first_window_prior(),
+        jitter=paper_window_jitter(),
+        observation_model=paper_observation_model(),
+        schedule=WindowSchedule.from_breaks([10, 20]),
+        config=SMCConfig(n_parameter_draws=15, n_replicates=2,
+                         resample_size=20, base_seed=6))
+    return calib.run(truth.observations())[0].posterior
+
+
+class TestForecast:
+    def test_horizon_and_count(self, posterior):
+        fc = forecast_from_posterior(posterior, horizon_days=8)
+        assert fc.start_day == 20
+        assert fc.horizon_days == 8
+        assert len(fc) == 20
+        for traj in fc.trajectories:
+            assert traj.start_day == 20
+            assert len(traj) == 8
+
+    def test_multiple_continuations_per_particle(self, posterior):
+        fc = forecast_from_posterior(posterior, horizon_days=5,
+                                     n_per_particle=2)
+        assert len(fc) == 40
+
+    def test_ribbon(self, posterior):
+        fc = forecast_from_posterior(posterior, horizon_days=5)
+        rib = fc.ribbon("cases")
+        assert rib.start_day == 20
+        assert rib.n_days == 5
+
+    def test_deterministic_given_base_seed(self, posterior):
+        import numpy as np
+        a = forecast_from_posterior(posterior, 5, base_seed=1)
+        b = forecast_from_posterior(posterior, 5, base_seed=1)
+        assert np.array_equal(a.trajectories[0].infections,
+                              b.trajectories[0].infections)
+
+    def test_different_base_seed_differs(self, posterior):
+        import numpy as np
+        a = forecast_from_posterior(posterior, 8, base_seed=1)
+        b = forecast_from_posterior(posterior, 8, base_seed=2)
+        different = any(
+            not np.array_equal(x.infections, y.infections)
+            for x, y in zip(a.trajectories, b.trajectories))
+        assert different
+
+    def test_validation(self, posterior):
+        with pytest.raises(ValueError):
+            forecast_from_posterior(posterior, 0)
+        with pytest.raises(ValueError):
+            forecast_from_posterior(posterior, 5, n_per_particle=0)
+
+    def test_missing_checkpoints_rejected(self):
+        from repro.core import Particle, ParticleEnsemble
+        bare = ParticleEnsemble([Particle(params={"theta": 0.3}, seed=1)])
+        with pytest.raises(ValueError, match="checkpoint"):
+            forecast_from_posterior(bare, 5)

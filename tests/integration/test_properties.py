@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (effective_sample_size, logsumexp,
+                        normalize_log_weights, weighted_quantile)
+from repro.core.resampling import RESAMPLERS
+from repro.data import TimeSeries, concat
+from repro.hpc import (block_partition, chunk_sizes, cyclic_partition,
+                       lpt_partition, merge_logsumexp, tree_reduce)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+log_weight_arrays = hnp.arrays(np.float64, st.integers(1, 60),
+                               elements=st.floats(min_value=-700,
+                                                  max_value=10,
+                                                  allow_nan=False))
+
+
+class TestWeightInvariants:
+    @given(log_weight_arrays)
+    def test_normalised_weights_are_distribution(self, lw):
+        w = normalize_log_weights(lw)
+        assert np.all(w >= 0)
+        assert abs(w.sum() - 1.0) < 1e-9
+
+    @given(log_weight_arrays, st.floats(min_value=-50, max_value=50))
+    def test_normalisation_shift_invariant(self, lw, shift):
+        a = normalize_log_weights(lw)
+        b = normalize_log_weights(lw + shift)
+        assert np.allclose(a, b, atol=1e-9)
+
+    @given(log_weight_arrays)
+    def test_ess_bounds(self, lw):
+        w = normalize_log_weights(lw)
+        ess = effective_sample_size(w)
+        assert 1.0 - 1e-9 <= ess <= len(w) + 1e-9
+
+    @given(log_weight_arrays)
+    def test_logsumexp_upper_bound(self, lw):
+        out = logsumexp(lw)
+        assert out >= lw.max() - 1e-12
+        assert out <= lw.max() + np.log(len(lw)) + 1e-9
+
+    @given(hnp.arrays(np.float64, st.integers(2, 40),
+                      elements=finite_floats),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_weighted_quantile_in_range(self, values, q):
+        w = np.full(len(values), 1.0 / len(values))
+        out = weighted_quantile(values, w, q)
+        assert values.min() - 1e-12 <= out <= values.max() + 1e-12
+
+
+class TestResamplerInvariants:
+    @given(st.sampled_from(sorted(RESAMPLERS)),
+           hnp.arrays(np.float64, st.integers(1, 30),
+                      elements=st.floats(min_value=0, max_value=100)),
+           st.integers(1, 50), st.integers(0, 2**32 - 1))
+    def test_indices_valid_and_positive_weight(self, name, raw_w, n_out, seed):
+        if raw_w.sum() <= 0:
+            raw_w = raw_w + 1.0
+        rng = np.random.Generator(np.random.PCG64(seed))
+        idx = RESAMPLERS[name](raw_w, n_out, rng)
+        assert idx.shape == (n_out,)
+        assert np.all((idx >= 0) & (idx < len(raw_w)))
+        assert np.all(raw_w[idx] > 0)
+
+
+class TestReductionInvariants:
+    @given(st.lists(st.floats(min_value=-500, max_value=10,
+                              allow_nan=False), min_size=1, max_size=40))
+    def test_merge_logsumexp_matches_global(self, values):
+        merged = merge_logsumexp(values)
+        expected = float(np.logaddexp.reduce(np.asarray(values)))
+        assert abs(merged - expected) < 1e-9
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    def test_tree_reduce_sum_matches_fold(self, items):
+        assert tree_reduce(items, lambda a, b: a + b) == sum(items)
+
+
+class TestPartitionInvariants:
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_block_partition_complete_disjoint(self, n, parts):
+        out = block_partition(n, parts)
+        merged = np.concatenate(out) if out else np.array([])
+        assert sorted(merged.tolist()) == list(range(n))
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_cyclic_partition_complete_disjoint(self, n, parts):
+        out = cyclic_partition(n, parts)
+        merged = np.concatenate(out)
+        assert sorted(merged.tolist()) == list(range(n))
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_chunk_sizes_sum(self, n, parts):
+        sizes = chunk_sizes(n, parts)
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(hnp.arrays(np.float64, st.integers(1, 40),
+                      elements=st.floats(min_value=0, max_value=100)),
+           st.integers(1, 8))
+    def test_lpt_partition_complete(self, costs, parts):
+        out = lpt_partition(costs, parts)
+        merged = np.concatenate(out)
+        assert sorted(merged.tolist()) == list(range(len(costs)))
+
+
+class TestSeriesInvariants:
+    @given(hnp.arrays(np.float64, st.integers(1, 50),
+                      elements=finite_floats),
+           st.integers(-100, 100))
+    def test_cumulative_diff_round_trip(self, values, start):
+        ts = TimeSeries(start, values)
+        back = ts.cumulative().diff()
+        assert np.allclose(back.values, ts.values, atol=1e-6)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 30),
+                      elements=finite_floats),
+           hnp.arrays(np.float64, st.integers(1, 30),
+                      elements=finite_floats))
+    def test_concat_window_round_trip(self, a_vals, b_vals):
+        a = TimeSeries(0, a_vals)
+        b = TimeSeries(len(a_vals), b_vals)
+        merged = concat(a, b)
+        assert merged.window(0, len(a_vals)) == a
+        assert merged.window(len(a_vals), len(a_vals) + len(b_vals)) == b
+
+    @given(hnp.arrays(np.float64, st.integers(2, 40),
+                      elements=finite_floats),
+           st.data())
+    def test_window_of_window(self, values, data):
+        ts = TimeSeries(0, values)
+        n = len(values)
+        lo = data.draw(st.integers(0, n - 1))
+        hi = data.draw(st.integers(lo + 1, n))
+        w = ts.window(lo, hi)
+        assert len(w) == hi - lo
+        assert w.value_on(lo) == ts.value_on(lo)
+
+
+class TestBiasInvariants:
+    @settings(max_examples=25)
+    @given(hnp.arrays(np.int64, st.integers(1, 30),
+                      elements=st.integers(0, 10_000)),
+           st.floats(min_value=0.01, max_value=1.0),
+           st.integers(0, 2**32 - 1))
+    def test_thinning_bounded(self, counts, rho, seed):
+        from repro.core import BinomialBiasModel
+        rng = np.random.Generator(np.random.PCG64(seed))
+        out = BinomialBiasModel("sample").apply(counts.astype(float), rho, rng)
+        assert np.all(out >= 0)
+        assert np.all(out <= counts)

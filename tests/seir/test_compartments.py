@@ -1,0 +1,124 @@
+"""Unit tests for the compartment topology (paper Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.seir import (Compartment, DiseaseParameters, N_COMPARTMENTS,
+                        TransitionSpec, build_transitions,
+                        infectiousness_weights)
+from repro.seir.compartments import (DEATH_COMPARTMENTS, DETECTED_COMPARTMENTS,
+                                     ICU_COMPARTMENTS, INFECTED_COMPARTMENTS)
+
+
+@pytest.fixture
+def transitions():
+    return build_transitions(DiseaseParameters())
+
+
+class TestTopology:
+    def test_compartment_count(self):
+        assert N_COMPARTMENTS == 20
+
+    def test_every_undetected_stage_has_detected_twin(self):
+        names = {c.name for c in Compartment}
+        for stage in ("A", "P", "SM", "SS", "H", "C", "HP", "R", "D"):
+            assert f"{stage}_U" in names
+            assert f"{stage}_D" in names
+
+    def test_detected_compartments_are_half(self):
+        assert len(DETECTED_COMPARTMENTS) == 9
+
+    def test_death_and_icu_sets(self):
+        assert set(DEATH_COMPARTMENTS) == {Compartment.D_U, Compartment.D_D}
+        assert set(ICU_COMPARTMENTS) == {Compartment.C_U, Compartment.C_D}
+
+    def test_infected_excludes_s_r_d(self):
+        assert Compartment.S not in INFECTED_COMPARTMENTS
+        assert Compartment.R_U not in INFECTED_COMPARTMENTS
+        assert Compartment.D_D not in INFECTED_COMPARTMENTS
+
+
+class TestTransitionTable:
+    def test_destination_probs_sum_to_one(self, transitions):
+        for spec in transitions:
+            assert sum(p for _, p in spec.destinations) == pytest.approx(1.0)
+
+    def test_no_transition_out_of_absorbing_states(self, transitions):
+        sources = {spec.src for spec in transitions}
+        for absorbing in (Compartment.R_U, Compartment.R_D,
+                          Compartment.D_U, Compartment.D_D,
+                          Compartment.S):
+            assert absorbing not in sources
+
+    def test_exposed_splits_to_presymptomatic_and_asymptomatic(self, transitions):
+        e_specs = [s for s in transitions if s.src == Compartment.E]
+        assert len(e_specs) == 1
+        dests = {d for d, _ in e_specs[0].destinations}
+        assert dests == {Compartment.P_U, Compartment.A_U}
+
+    def test_detection_moves_to_same_stage_twin(self, transitions):
+        detect = [s for s in transitions if s.label.startswith("detect")]
+        assert len(detect) == 4
+        for spec in detect:
+            (dst, p), = spec.destinations
+            assert p == 1.0
+            assert spec.src.name.endswith("_U")
+            assert dst.name == spec.src.name.replace("_U", "_D")
+
+    def test_detection_hazard_matches_probability_over_delay(self):
+        params = DiseaseParameters(detection_prob_mild=0.5,
+                                   detection_delay_days=2.0)
+        specs = build_transitions(params)
+        mild_detect = next(s for s in specs if s.label == "detect Sm")
+        assert mild_detect.hazard == pytest.approx(0.25)
+
+    def test_zero_detection_prob_removes_transition(self):
+        params = DiseaseParameters(detection_prob_asymptomatic=0.0)
+        specs = build_transitions(params)
+        assert not any(s.label == "detect A" for s in specs)
+
+    def test_death_only_reachable_from_icu(self, transitions):
+        for spec in transitions:
+            for dst, _ in spec.destinations:
+                if dst in DEATH_COMPARTMENTS:
+                    assert spec.src in (Compartment.C_U, Compartment.C_D)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            TransitionSpec(Compartment.E, 1.0,
+                           ((Compartment.P_U, 0.5), (Compartment.A_U, 0.3)),
+                           "bad")
+        with pytest.raises(ValueError, match="negative"):
+            TransitionSpec(Compartment.E, -1.0, ((Compartment.P_U, 1.0),), "bad")
+
+
+class TestInfectiousnessWeights:
+    def test_shape_and_nonnegative(self):
+        w = infectiousness_weights(DiseaseParameters())
+        assert w.shape == (N_COMPARTMENTS,)
+        assert np.all(w >= 0)
+
+    def test_noninfectious_compartments_are_zero(self):
+        w = infectiousness_weights(DiseaseParameters())
+        for c in (Compartment.S, Compartment.E, Compartment.R_U,
+                  Compartment.D_D, Compartment.H_U, Compartment.C_D,
+                  Compartment.HP_U):
+            assert w[c] == 0.0
+
+    def test_detected_less_infectious_than_undetected(self):
+        w = infectiousness_weights(DiseaseParameters())
+        for und, det in ((Compartment.P_U, Compartment.P_D),
+                         (Compartment.SM_U, Compartment.SM_D),
+                         (Compartment.SS_U, Compartment.SS_D),
+                         (Compartment.A_U, Compartment.A_D)):
+            assert w[det] < w[und]
+
+    def test_asymptomatic_scaling(self):
+        p = DiseaseParameters(asymptomatic_rel_infectiousness=0.5)
+        w = infectiousness_weights(p)
+        assert w[Compartment.A_U] == pytest.approx(0.5 * w[Compartment.P_U])
+
+    def test_detected_scaling_factor(self):
+        p = DiseaseParameters(detected_rel_infectiousness=0.2)
+        w = infectiousness_weights(p)
+        assert w[Compartment.SM_D] == pytest.approx(0.2 * w[Compartment.SM_U])

@@ -1,0 +1,89 @@
+"""Unit tests for the event-driven engine (pending-event checkpoints)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.seir import Compartment, EventDrivenEngine, ScheduledEvent
+
+
+class TestScheduledEvent:
+    def test_ordering_by_time_then_sequence(self):
+        early = ScheduledEvent(1.0, 5, 0, 1)
+        late = ScheduledEvent(2.0, 1, 0, 1)
+        tie_a = ScheduledEvent(1.0, 1, 0, 1)
+        assert early < late
+        assert tie_a < early
+
+    def test_accessors(self):
+        ev = ScheduledEvent(3.5, 7, 2, 4)
+        assert ev.time == 3.5
+        assert ev.src == 2
+        assert ev.dst == 4
+
+    def test_serialises_as_list(self):
+        ev = ScheduledEvent(1.0, 2, 3, 4)
+        assert json.loads(json.dumps(list(ev))) == [1.0, 2, 3, 4]
+
+
+class TestEventDrivenEngine:
+    def test_population_conserved(self, tiny_params):
+        eng = EventDrivenEngine(tiny_params, seed=1)
+        eng.run_until(30)
+        assert eng.population_conserved()
+
+    def test_initial_exposed_have_pending_events(self, tiny_params):
+        eng = EventDrivenEngine(tiny_params, seed=1)
+        assert eng.pending_event_count == tiny_params.initial_exposed
+
+    def test_deterministic_given_seed(self, tiny_params):
+        t1 = EventDrivenEngine(tiny_params, seed=5).run_until(25)
+        t2 = EventDrivenEngine(tiny_params, seed=5).run_until(25)
+        assert np.array_equal(t1.infections, t2.infections)
+
+    def test_counts_nonnegative(self, tiny_params):
+        eng = EventDrivenEngine(tiny_params, seed=2)
+        for _ in range(25):
+            eng.step_day()
+            assert np.all(eng.counts >= 0)
+
+    def test_zero_transmission_only_seeds_progress(self, tiny_params):
+        params = tiny_params.with_updates(transmission_rate=0.0)
+        eng = EventDrivenEngine(params, seed=3)
+        traj = eng.run_until(60)
+        assert traj.total_infections() == 0
+        # The seeded exposures must still progress out of E.
+        assert eng.count_of(Compartment.E) < params.initial_exposed
+
+    def test_invalid_slices_rejected(self, tiny_params):
+        with pytest.raises(ValueError):
+            EventDrivenEngine(tiny_params, seed=1, infection_slices_per_day=0)
+
+    def test_snapshot_includes_pending_events(self, tiny_params):
+        eng = EventDrivenEngine(tiny_params, seed=9)
+        eng.run_until(10)
+        snap = eng.state_snapshot()
+        assert snap["pending_events"]
+        assert snap["engine"] == "event_driven"
+        json.dumps(snap)  # JSON-safe including the event queue
+
+    def test_snapshot_round_trip_exact(self, tiny_params):
+        eng = EventDrivenEngine(tiny_params, seed=9)
+        eng.run_until(10)
+        snap = eng.state_snapshot()
+        continued = eng.run_until(20)
+        replay = EventDrivenEngine.from_snapshot(snap, tiny_params).run_until(20)
+        assert np.array_equal(continued.infections, replay.infections)
+        assert np.array_equal(continued.deaths, replay.deaths)
+
+    def test_restart_preserves_scheduled_progressions(self, tiny_params):
+        """Individuals mid-stage at checkpoint must finish their dwell."""
+        eng = EventDrivenEngine(tiny_params, seed=4)
+        eng.run_until(8)
+        snap = eng.state_snapshot()
+        pending_before = snap["pending_events"]
+        restored = EventDrivenEngine.from_snapshot(snap, tiny_params, seed=123)
+        assert restored.pending_event_count == len(pending_before)
+        restored.run_until(40)
+        assert restored.population_conserved()

@@ -1,0 +1,74 @@
+"""Unit tests for seed management (common random numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.seir import SeedSequenceBank, generator_for, mix_seed
+
+
+class TestGeneratorFor:
+    def test_deterministic(self):
+        a = generator_for(42).integers(0, 1_000_000, size=5)
+        b = generator_for(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = generator_for(1).integers(0, 1_000_000, size=5)
+        b = generator_for(2).integers(0, 1_000_000, size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestMixSeed:
+    def test_deterministic(self):
+        assert mix_seed(1, 2, 3) == mix_seed(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert mix_seed(1, 2) != mix_seed(2, 1)
+
+    def test_nonnegative_63bit(self):
+        s = mix_seed(2**62, 17)
+        assert 0 <= s < 2**63
+
+
+class TestSeedSequenceBank:
+    def test_common_seeds_reproducible(self):
+        a = SeedSequenceBank(7).common_replicate_seeds(10)
+        b = SeedSequenceBank(7).common_replicate_seeds(10)
+        assert a == b
+
+    def test_common_seeds_distinct(self):
+        seeds = SeedSequenceBank(7).common_replicate_seeds(50)
+        assert len(set(seeds)) == 50
+
+    def test_prefix_stability(self):
+        """Asking for more replicates must not change the earlier ones."""
+        short = SeedSequenceBank(7).common_replicate_seeds(5)
+        long = SeedSequenceBank(7).common_replicate_seeds(10)
+        assert long[:5] == short
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SeedSequenceBank(7).common_replicate_seeds(0)
+
+    def test_ancillary_streams_independent_of_simulation(self):
+        bank = SeedSequenceBank(7)
+        seeds = bank.common_replicate_seeds(5)
+        anc = bank.ancillary_generator(0).integers(0, 2**62, size=5)
+        assert not np.array_equal(np.array(seeds), anc)
+
+    def test_ancillary_purposes_differ(self):
+        bank = SeedSequenceBank(7)
+        a = bank.ancillary_generator(0).integers(0, 2**62, size=4)
+        b = bank.ancillary_generator(1).integers(0, 2**62, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_window_restart_seed_varies_with_particle(self):
+        bank = SeedSequenceBank(7)
+        s1 = bank.window_restart_seed(100, 1, 0)
+        s2 = bank.window_restart_seed(100, 1, 1)
+        s3 = bank.window_restart_seed(100, 2, 0)
+        assert len({s1, s2, s3}) == 3
+
+    def test_window_restart_seed_reproducible(self):
+        assert (SeedSequenceBank(7).window_restart_seed(5, 1, 2)
+                == SeedSequenceBank(7).window_restart_seed(5, 1, 2))

@@ -1,0 +1,107 @@
+"""Unit tests for ensemble sweeps and the trajectory cache."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import ProcessExecutor
+from repro.sim import EnsembleSpec, TrajectoryCache, common_seed_grid, run_ensemble
+
+
+class TestEnsemble:
+    def test_member_count_and_order(self, small_params):
+        spec = common_seed_grid(
+            param_updates=[{"transmission_rate": 0.2},
+                           {"transmission_rate": 0.4}],
+            seeds=[1, 2, 3], base_params=small_params, end_day=15)
+        assert spec.n_members == 6
+        result = run_ensemble(spec)
+        assert len(result.trajectories) == 6
+
+    def test_common_seeds_reproduce_across_draws(self, small_params):
+        """Same (theta, seed) must give identical members in any sweep."""
+        spec_a = common_seed_grid([{"transmission_rate": 0.3}], [7],
+                                  small_params, end_day=20)
+        spec_b = common_seed_grid([{"transmission_rate": 0.5},
+                                   {"transmission_rate": 0.3}], [7],
+                                  small_params, end_day=20)
+        t_a = run_ensemble(spec_a).trajectory(0, 0)
+        t_b = run_ensemble(spec_b).trajectory(1, 0)
+        assert np.array_equal(t_a.infections, t_b.infections)
+
+    def test_channel_matrix_shape(self, small_params):
+        spec = common_seed_grid([{}, {}], [1, 2], small_params, end_day=10)
+        mat = run_ensemble(spec).channel_matrix("cases")
+        assert mat.shape == (2, 2, 10)
+
+    def test_process_executor_matches_serial(self, small_params):
+        spec = common_seed_grid([{"transmission_rate": 0.3}], [1, 2],
+                                small_params, end_day=12)
+        serial = run_ensemble(spec)
+        with ProcessExecutor(max_workers=2) as ex:
+            parallel = run_ensemble(spec, executor=ex)
+        for a, b in zip(serial.trajectories, parallel.trajectories):
+            assert np.array_equal(a.infections, b.infections)
+
+    def test_spec_validation(self, small_params):
+        with pytest.raises(ValueError):
+            EnsembleSpec(small_params, (), (1,), 10)
+        with pytest.raises(ValueError):
+            EnsembleSpec(small_params, ({},), (), 10)
+        with pytest.raises(ValueError):
+            EnsembleSpec(small_params, ({},), (1,), 0)
+
+
+class TestTrajectoryCache:
+    def test_hit_after_put(self, small_params):
+        cache = TrajectoryCache()
+        t = cache.get_or_simulate(small_params, 1, 10)
+        t2 = cache.get_or_simulate(small_params, 1, 10)
+        assert t2 is t
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_different_seed_misses(self, small_params):
+        cache = TrajectoryCache()
+        cache.get_or_simulate(small_params, 1, 10)
+        cache.get_or_simulate(small_params, 2, 10)
+        assert cache.stats.misses == 2
+
+    def test_different_params_miss(self, small_params):
+        cache = TrajectoryCache()
+        cache.get_or_simulate(small_params, 1, 10)
+        cache.get_or_simulate(small_params.with_updates(transmission_rate=0.4),
+                              1, 10)
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self, small_params):
+        cache = TrajectoryCache(max_entries=2)
+        for seed in (1, 2, 3):
+            cache.get_or_simulate(small_params, seed, 5)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # seed 1 was evicted
+        assert cache.get(small_params, 1, 0, 5) is None
+
+    def test_precision_rounding_merges_close_params(self, small_params):
+        cache = TrajectoryCache(param_precision=2)
+        a = small_params.with_updates(transmission_rate=0.300001)
+        b = small_params.with_updates(transmission_rate=0.300002)
+        cache.get_or_simulate(a, 1, 5)
+        assert cache.get(b, 1, 0, 5) is not None
+
+    def test_clear(self, small_params):
+        cache = TrajectoryCache()
+        cache.get_or_simulate(small_params, 1, 5)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self, small_params):
+        cache = TrajectoryCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.get_or_simulate(small_params, 1, 5)
+        cache.get_or_simulate(small_params, 1, 5)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            TrajectoryCache(max_entries=0)
