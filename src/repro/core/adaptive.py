@@ -35,11 +35,6 @@ __all__ = ["tempered_weight_schedule", "TemperedResult",
            "ess_triggered_resample"]
 
 
-def _ess_at(log_lik: np.ndarray, beta: float) -> float:
-    w = normalize_log_weights(beta * log_lik)
-    return effective_sample_size(w)
-
-
 def tempered_weight_schedule(log_lik: np.ndarray, *,
                              ess_floor_fraction: float = 0.5,
                              max_stages: int = 64) -> list[float]:
@@ -82,9 +77,8 @@ def tempered_weight_schedule(log_lik: np.ndarray, *,
 
 
 def _incremental_ess(ll: np.ndarray, beta_from: float, beta_to: float) -> float:
-    return _ess_at(ll, 1.0) if beta_from == 0 and beta_to == 1.0 and False \
-        else effective_sample_size(
-            normalize_log_weights((beta_to - beta_from) * ll))
+    return effective_sample_size(
+        normalize_log_weights((beta_to - beta_from) * ll))
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,9 @@ class WindowDiagnostics:
     entropy:
         Shannon entropy of the normalised weights (nats).
     entropy_fraction:
-        Entropy relative to the uniform maximum ``log(n)``.
+        Entropy relative to the uniform maximum ``log(n)``; 1.0 for a
+        single-particle ensemble, whose only attainable distribution is
+        uniform.
     max_weight:
         Largest single normalised weight.
     unique_ancestors:
@@ -93,7 +95,9 @@ def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
     n = int(w.size)
     ess = effective_sample_size(w)
     entropy = weight_entropy(w)
-    max_entropy = float(np.log(n)) if n > 1 else 1.0
+    # A single-particle ensemble is uniform over its only state — the maximum
+    # attainable entropy — so its fraction is 1.0, not 0.0 ("collapsed").
+    entropy_fraction = float(entropy / np.log(n)) if n > 1 else 1.0
     hi = float(np.max(lw))
     log_evidence = hi + float(np.log(np.mean(np.exp(lw - hi)))) if hi > -np.inf \
         else -np.inf
@@ -102,7 +106,7 @@ def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
         ess=float(ess),
         ess_fraction=float(ess / n),
         entropy=float(entropy),
-        entropy_fraction=float(entropy / max_entropy),
+        entropy_fraction=entropy_fraction,
         max_weight=float(np.max(w)),
         unique_ancestors=int(unique_ancestors),
         log_evidence=float(log_evidence),

@@ -35,6 +35,28 @@ class Likelihood(ABC):
     def loglik(self, observed: np.ndarray, simulated: np.ndarray) -> float:
         """Total log-likelihood over the window (sums the per-day terms)."""
 
+    def loglik_batch(self, observed: np.ndarray,
+                     simulated: np.ndarray) -> np.ndarray:
+        """Log-likelihood of one observed window under a stack of simulations.
+
+        Parameters
+        ----------
+        observed:
+            ``(n_days,)`` observed counts.
+        simulated:
+            ``(n_particles, n_days)`` matrix of simulated observed counts.
+
+        Returns
+        -------
+        ``(n_particles,)`` vector, row ``i`` equal to
+        ``loglik(observed, simulated[i])`` up to floating-point reduction
+        order.  This base implementation loops over rows; the concrete
+        families override it with closed-form vectorised versions — the hot
+        path of the ensemble weighting step.
+        """
+        y, eta = _check_batch_shapes(observed, simulated)
+        return np.array([self.loglik(y, row) for row in eta])
+
     def loglik_series(self, observed: TimeSeries, simulated: TimeSeries) -> float:
         """:meth:`loglik` with day-axis alignment checks."""
         if observed.start_day != simulated.start_day or len(observed) != len(simulated):
@@ -50,6 +72,23 @@ def _check_shapes(observed: np.ndarray, simulated: np.ndarray) -> tuple[np.ndarr
     eta = np.asarray(simulated, dtype=np.float64)
     if y.shape != eta.shape:
         raise ValueError(f"shape mismatch: observed {y.shape} vs simulated {eta.shape}")
+    if y.size == 0:
+        raise ValueError("empty observation window")
+    return y, eta
+
+
+def _check_batch_shapes(observed: np.ndarray,
+                        simulated: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(observed, dtype=np.float64)
+    eta = np.asarray(simulated, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"observed must be 1-d, got shape {y.shape}")
+    if eta.ndim != 2:
+        raise ValueError(
+            f"simulated must be (n_particles, n_days), got shape {eta.shape}")
+    if eta.shape[1] != y.size:
+        raise ValueError(
+            f"day-axis mismatch: observed {y.size} days vs simulated {eta.shape[1]}")
     if y.size == 0:
         raise ValueError("empty observation window")
     return y, eta
@@ -76,6 +115,14 @@ class GaussianTransformLikelihood(Likelihood):
         return float(-0.5 * n * np.log(2.0 * np.pi * self.sigma**2)
                      - 0.5 * float(resid @ resid) / self.sigma**2)
 
+    def loglik_batch(self, observed: np.ndarray,
+                     simulated: np.ndarray) -> np.ndarray:
+        y, eta = _check_batch_shapes(observed, simulated)
+        resid = self.transform(y)[None, :] - self.transform(eta)
+        n = y.size
+        return (-0.5 * n * np.log(2.0 * np.pi * self.sigma**2)
+                - 0.5 * np.einsum("ij,ij->i", resid, resid) / self.sigma**2)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"GaussianTransformLikelihood(sigma={self.sigma}, "
                 f"transform={self.transform.name!r})")
@@ -97,6 +144,13 @@ class PoissonLikelihood(Likelihood):
         y, eta = _check_shapes(observed, simulated)
         lam = np.maximum(eta, self.epsilon)
         return float(np.sum(stats.poisson.logpmf(np.rint(y).astype(np.int64), lam)))
+
+    def loglik_batch(self, observed: np.ndarray,
+                     simulated: np.ndarray) -> np.ndarray:
+        y, eta = _check_batch_shapes(observed, simulated)
+        lam = np.maximum(eta, self.epsilon)
+        counts = np.rint(y).astype(np.int64)[None, :]
+        return np.sum(stats.poisson.logpmf(counts, lam), axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PoissonLikelihood(epsilon={self.epsilon})"
@@ -123,6 +177,15 @@ class NegativeBinomialLikelihood(Likelihood):
         k = self.dispersion
         p = k / (k + m)
         return float(np.sum(stats.nbinom.logpmf(np.rint(y).astype(np.int64), k, p)))
+
+    def loglik_batch(self, observed: np.ndarray,
+                     simulated: np.ndarray) -> np.ndarray:
+        y, eta = _check_batch_shapes(observed, simulated)
+        m = np.maximum(eta, self.epsilon)
+        k = self.dispersion
+        p = k / (k + m)
+        counts = np.rint(y).astype(np.int64)[None, :]
+        return np.sum(stats.nbinom.logpmf(counts, k, p), axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NegativeBinomialLikelihood(dispersion={self.dispersion})"

@@ -12,7 +12,7 @@ the :class:`~repro.data.sources.ObservationSet` carries.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from ..data.sources import CASES, DEATHS, ObservationSet
 from ..seir.outputs import Trajectory
 from .bias import BinomialBiasModel
 from .likelihood import Likelihood, paper_likelihood
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .particle import ParticleEnsemble
 
 __all__ = ["SourceModel", "ObservationModel", "paper_observation_model"]
 
@@ -57,6 +60,34 @@ class SourceModel:
         sim_window = simulated.window(observed.start_day, observed.end_day)
         return self.likelihood.loglik_series(observed, sim_window)
 
+    def simulated_observed_batch(self, segments: np.ndarray, rho: np.ndarray,
+                                 rng: np.random.Generator | None) -> np.ndarray:
+        """Ensemble counterpart of :meth:`simulated_observed`.
+
+        ``segments`` is the ``(n_particles, n_days)`` raw channel matrix and
+        ``rho`` the per-particle reporting probabilities; unbiased streams
+        pass through untouched and consume no randomness.
+        """
+        matrix = np.asarray(segments, dtype=np.float64)
+        if not self.biased:
+            return matrix
+        return self.bias.apply_batch(matrix, rho, rng)
+
+    def loglik_batch(self, observed: TimeSeries, segments: np.ndarray,
+                     rho: np.ndarray,
+                     rng: np.random.Generator | None) -> np.ndarray:
+        """Per-particle log-likelihoods of one observed window.
+
+        ``segments`` must already be windowed to the observed day range
+        (``ParticleEnsemble.segment_matrix`` does this in one pass).
+        """
+        simulated = self.simulated_observed_batch(segments, rho, rng)
+        if simulated.ndim != 2 or simulated.shape[1] != len(observed):
+            raise ValueError(
+                f"segments not aligned with observed window: got shape "
+                f"{simulated.shape}, expected (n_particles, {len(observed)})")
+        return self.likelihood.loglik_batch(observed.values, simulated)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SourceModel({self.name!r}, channel={self.channel!r}, "
                 f"biased={self.biased}, likelihood={self.likelihood!r})")
@@ -80,6 +111,15 @@ class ObservationModel:
     def source(self, name: str) -> SourceModel:
         return self._sources[name]
 
+    def _require_source(self, name: str) -> SourceModel:
+        """The model for an observed stream; silently ignoring data would
+        corrupt the posterior, so an unconfigured stream is an error."""
+        if name not in self._sources:
+            raise KeyError(
+                f"no SourceModel configured for observed stream "
+                f"{name!r}; configured: {sorted(self._sources)}")
+        return self._sources[name]
+
     def loglik(self, observations: ObservationSet, trajectory: Trajectory,
                rho: float, rng: np.random.Generator | None) -> float:
         """Sum of per-source log-likelihoods over the streams present.
@@ -90,12 +130,34 @@ class ObservationModel:
         """
         total = 0.0
         for obs_source in observations:
-            if obs_source.name not in self._sources:
-                raise KeyError(
-                    f"no SourceModel configured for observed stream "
-                    f"{obs_source.name!r}; configured: {sorted(self._sources)}")
-            model = self._sources[obs_source.name]
+            model = self._require_source(obs_source.name)
             total += model.loglik(obs_source.series, trajectory, rho, rng)
+        return total
+
+    def loglik_ensemble(self, observations: ObservationSet,
+                        ensemble: "ParticleEnsemble", rho: np.ndarray,
+                        rng: np.random.Generator | None) -> np.ndarray:
+        """Batched :meth:`loglik` over a whole particle ensemble.
+
+        Returns the ``(n_particles,)`` vector of summed per-source
+        log-likelihoods.  Sources are evaluated in observation-set order and
+        each biased source thins the whole ensemble with one batched binomial
+        call (source-major draw order; see :mod:`repro.core.bias`).  Stream
+        configuration errors follow the scalar path's rules.
+        """
+        rho_arr = np.asarray(rho, dtype=np.float64)
+        if rho_arr.shape != (len(ensemble),):
+            raise ValueError(
+                f"rho must have one entry per particle: expected shape "
+                f"({len(ensemble)},), got {rho_arr.shape}")
+        total = np.zeros(len(ensemble), dtype=np.float64)
+        for obs_source in observations:
+            model = self._require_source(obs_source.name)
+            segments = ensemble.segment_matrix(model.channel,
+                                               obs_source.series.start_day,
+                                               obs_source.series.end_day)
+            total += model.loglik_batch(obs_source.series, segments, rho_arr,
+                                        rng)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -160,6 +160,36 @@ class ParticleEnsemble:
             out.append(traj)
         return out
 
+    def segment_matrix(self, channel: str, start_day: int | None = None,
+                       end_day: int | None = None) -> np.ndarray:
+        """Stack one segment channel into an ``(n_particles, n_days)`` matrix.
+
+        The batched weighting path extracts every particle's window segment
+        in a single pass instead of building per-particle TimeSeries objects.
+        ``start_day``/``end_day`` window each segment to ``[start_day,
+        end_day)`` (defaulting to the first particle's full segment range);
+        every segment must cover the requested range.
+        """
+        first = self._particles[0].segment
+        if first is None:
+            raise ValueError("particle missing segment trajectory")
+        lo = first.start_day if start_day is None else int(start_day)
+        hi = first.end_day if end_day is None else int(end_day)
+        if hi < lo:
+            raise ValueError("window end before start")
+        out = np.empty((len(self._particles), hi - lo), dtype=np.float64)
+        for i, p in enumerate(self._particles):
+            seg = p.segment
+            if seg is None:
+                raise ValueError("particle missing segment trajectory")
+            if seg.start_day > lo or seg.end_day < hi:
+                raise ValueError(
+                    f"segment [{seg.start_day}, {seg.end_day}) does not cover "
+                    f"requested window [{lo}, {hi})")
+            values = seg.channel_values(channel)
+            out[i] = values[lo - seg.start_day:hi - seg.start_day]
+        return out
+
     def params_matrix(self) -> np.ndarray:
         """(n_particles, n_params) matrix, columns in :attr:`param_names` order."""
         names = self.param_names

@@ -21,6 +21,18 @@ Weights follow eq. (5): conditioned on a sample from the previous posterior,
 the incremental weight is the likelihood of the *new* window's observations
 alone.  Because the jittered draws constitute the next window's prior (the
 paper's construction), no proposal-density correction is applied.
+
+The weighting step runs on the batched ensemble path by default: segments
+are stacked once per source (``ParticleEnsemble.segment_matrix``), thinned
+with one binomial call (``BinomialBiasModel.apply_batch``) and scored with
+one vectorised likelihood evaluation per source
+(``ObservationModel.loglik_ensemble``) — O(1) NumPy calls per window instead
+of O(n_particles) Python iterations.  ``SMCConfig(weighting="scalar")``
+selects the per-particle reference implementation the batched path is
+cross-checked against.  All per-window ancillary randomness (jitter, bias
+thinning, resampling) draws from window-indexed streams of the
+:class:`~repro.seir.seeding.SeedSequenceBank`, so no two windows ever share
+a random stream.
 """
 
 from __future__ import annotations
@@ -80,12 +92,16 @@ class SMCConfig:
     engine_options: dict = field(default_factory=dict)
     base_seed: int = 20240215
     keep_weighted_ensemble: bool = False
+    weighting: str = "batched"
 
     def __post_init__(self) -> None:
         for name in ("n_parameter_draws", "n_replicates", "resample_size",
                      "n_continuations"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.weighting not in ("batched", "scalar"):
+            raise ValueError(
+                f"weighting must be 'batched' or 'scalar', got {self.weighting!r}")
         get_resampler(self.resampler)  # validate eagerly
 
     @property
@@ -318,7 +334,8 @@ class SequentialCalibrator:
     def _continuation_ensemble(self, window: TimeWindow, index: int,
                                posterior: ParticleEnsemble) -> ParticleEnsemble:
         cfg = self.config
-        rng_jitter = self._bank.ancillary_generator(_PURPOSE_JITTER)
+        rng_jitter = self._bank.ancillary_generator(_PURPOSE_JITTER,
+                                                    window_index=index)
         centers = {name: posterior.values(name) for name in self.prior.names}
 
         tasks = []
@@ -358,27 +375,46 @@ class SequentialCalibrator:
         return ParticleEnsemble(particles)
 
     # ------------------------------------------------------------------ #
+    def _scalar_log_weights(self, window_obs: ObservationSet,
+                            ensemble: ParticleEnsemble,
+                            rng_bias: np.random.Generator) -> np.ndarray:
+        """Per-particle reference weighting loop.
+
+        Kept as the cross-check oracle for the batched path (and selected by
+        ``SMCConfig(weighting="scalar")``).  In "sample" bias mode its
+        thinning draws interleave per particle, so it matches the batched
+        path exactly in "mean" mode and in distribution otherwise — see the
+        draw-order contract in :mod:`repro.core.bias`.
+        """
+        log_weights = np.empty(len(ensemble))
+        for i, particle in enumerate(ensemble):
+            assert particle.segment is not None
+            log_weights[i] = self.observation_model.loglik(
+                window_obs, particle.segment, particle.params[BIAS_PARAM],
+                rng_bias)
+        return log_weights
+
     def _weigh_and_resample(self, index: int, window: TimeWindow,
                             ensemble: ParticleEnsemble,
                             observations: ObservationSet) -> WindowResult:
         cfg = self.config
         window_obs = observations.window(window.start_day, window.end_day)
-        rng_bias = self._bank.ancillary_generator(_PURPOSE_BIAS)
+        rng_bias = self._bank.ancillary_generator(_PURPOSE_BIAS,
+                                                  window_index=index)
 
-        log_weights = np.empty(len(ensemble))
-        weighted = []
-        for i, particle in enumerate(ensemble):
-            assert particle.segment is not None
-            ll = self.observation_model.loglik(
-                window_obs, particle.segment, particle.params[BIAS_PARAM],
-                rng_bias)
-            log_weights[i] = ll
-            weighted.append(particle.with_weight(ll))
-        weighted_ensemble = ParticleEnsemble(weighted)
+        if cfg.weighting == "batched":
+            log_weights = self.observation_model.loglik_ensemble(
+                window_obs, ensemble, ensemble.values(BIAS_PARAM), rng_bias)
+        else:
+            log_weights = self._scalar_log_weights(window_obs, ensemble,
+                                                   rng_bias)
+        weighted_ensemble = ParticleEnsemble(
+            [p.with_weight(ll) for p, ll in zip(ensemble, log_weights)])
 
         normalized = normalize_log_weights(log_weights)
         resampler = get_resampler(cfg.resampler)
-        rng_resample = self._bank.ancillary_generator(_PURPOSE_RESAMPLE)
+        rng_resample = self._bank.ancillary_generator(_PURPOSE_RESAMPLE,
+                                                      window_index=index)
         indices = resampler(normalized, cfg.resample_size, rng_resample)
         posterior = weighted_ensemble.select(indices)
 

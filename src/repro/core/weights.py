@@ -106,6 +106,9 @@ def weighted_quantile(values: np.ndarray, weights: np.ndarray,
         raise ValueError("values and weights must have the same shape")
     if v.size == 0:
         raise ValueError("empty sample")
+    # np.isscalar is False for 0-d arrays, which must still collapse to a
+    # python float; np.ndim covers both.
+    scalar_q = np.ndim(q) == 0
     q_arr = np.atleast_1d(np.asarray(q, dtype=np.float64))
     if np.any((q_arr < 0) | (q_arr > 1)):
         raise ValueError("quantile probabilities must lie in [0, 1]")
@@ -116,4 +119,4 @@ def weighted_quantile(values: np.ndarray, weights: np.ndarray,
     idx = np.searchsorted(cdf, q_arr, side="left")
     idx = np.clip(idx, 0, v.size - 1)
     out = v_sorted[idx]
-    return float(out[0]) if np.isscalar(q) else out
+    return float(out[0]) if scalar_q else out

@@ -70,8 +70,12 @@ class Trajectory:
         return self.start_day + len(self)
 
     # ------------------------------------------------------------------ #
-    def series(self, channel: str) -> TimeSeries:
-        """The named output channel as a :class:`TimeSeries`."""
+    def channel_values(self, channel: str) -> np.ndarray:
+        """The named channel's backing array (read-only, no copy).
+
+        The zero-copy accessor the batched weighting path uses to stack
+        thousands of segments without materialising a TimeSeries each.
+        """
         mapping = {
             CASES: self.infections,
             DEATHS: self.deaths,
@@ -80,7 +84,12 @@ class Trajectory:
         }
         if channel not in mapping:
             raise KeyError(f"unknown channel {channel!r}; expected one of {_CHANNELS}")
-        return TimeSeries(self.start_day, mapping[channel], name=channel)
+        return mapping[channel]
+
+    def series(self, channel: str) -> TimeSeries:
+        """The named output channel as a :class:`TimeSeries`."""
+        return TimeSeries(self.start_day, self.channel_values(channel),
+                          name=channel)
 
     def window(self, start_day: int, end_day: int) -> "Trajectory":
         """Slice the record to days ``[start_day, end_day)``."""

@@ -74,15 +74,29 @@ class SeedSequenceBank:
         state = ss.generate_state(n_replicates, dtype=np.uint64)
         return [int(s & 0x7FFFFFFFFFFFFFFF) for s in state]
 
-    def ancillary_generator(self, purpose: int = 0) -> np.random.Generator:
+    def ancillary_generator(self, purpose: int = 0,
+                            window_index: int | None = None
+                            ) -> np.random.Generator:
         """An RNG stream independent of every simulation stream.
 
         ``purpose`` distinguishes consumers (0 = prior sampling, 1 = bias
         thinning, 2 = resampling, ...), so adding a consumer never perturbs
         the draws of existing ones.
+
+        ``window_index`` derives a further sub-stream per calibration window
+        via ``spawn_key=(_ANCILLARY_STREAM, purpose, window_index)``.  Every
+        per-window consumer (jitter, bias thinning, resampling) must pass it:
+        re-creating the un-windowed stream each window would make every
+        window consume the *same* draws, silently correlating its ancillary
+        randomness across the whole run.  Omit it only for one-shot consumers
+        (first-window prior sampling).
         """
-        ss = np.random.SeedSequence(self.base_seed,
-                                    spawn_key=(_ANCILLARY_STREAM, int(purpose)))
+        key: tuple[int, ...] = (_ANCILLARY_STREAM, int(purpose))
+        if window_index is not None:
+            if window_index < 0:
+                raise ValueError("window_index must be >= 0")
+            key = key + (int(window_index),)
+        ss = np.random.SeedSequence(self.base_seed, spawn_key=key)
         return np.random.Generator(np.random.PCG64(ss))
 
     def window_restart_seed(self, original_seed: int, window_index: int,

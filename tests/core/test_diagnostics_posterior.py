@@ -39,6 +39,13 @@ class TestDiagnostics:
         d = self._diag(np.linspace(-5, 0, 64))
         assert 0.0 < d.entropy_fraction <= 1.0
 
+    def test_single_particle_entropy_fraction_is_one(self):
+        """Regression: n=1 is uniform-over-one (the only possible state),
+        not a collapsed ensemble — the fraction must read 1.0, not 0.0."""
+        d = self._diag(np.array([-2.5]))
+        assert d.entropy == 0.0
+        assert d.entropy_fraction == 1.0
+
     def test_round_trip(self):
         d = self._diag(np.zeros(10))
         restored = WindowDiagnostics.from_dict(d.to_dict())

@@ -182,6 +182,52 @@ class TestSequentialRun:
         assert len(res[0].weighted_ensemble) == 20
 
 
+class TestPerWindowRandomness:
+    """Regression: jitter, bias-thinning and resampling must draw from
+    window-indexed streams, not re-create the same stream every window."""
+
+    class SpyBank:
+        def __init__(self, bank):
+            self._bank = bank
+            self.calls = []
+
+        def ancillary_generator(self, purpose=0, window_index=None):
+            self.calls.append((purpose, window_index))
+            return self._bank.ancillary_generator(purpose, window_index)
+
+        def __getattr__(self, name):
+            return getattr(self._bank, name)
+
+    def test_ancillary_streams_are_window_indexed(self, small_truth):
+        from repro.core.smc import (_PURPOSE_BIAS, _PURPOSE_JITTER,
+                                    _PURPOSE_RESAMPLE)
+        schedule = WindowSchedule.from_breaks([10, 18, 26, 34])
+        calib = calibrator(schedule, small_truth)
+        spy = self.SpyBank(calib._bank)
+        calib._bank = spy
+        calib.run(small_truth.observations())
+        windows_seen = {purpose: {w for p, w in spy.calls if p == purpose}
+                        for purpose in (_PURPOSE_BIAS, _PURPOSE_RESAMPLE,
+                                        _PURPOSE_JITTER)}
+        assert windows_seen[_PURPOSE_BIAS] == {0, 1, 2}
+        assert windows_seen[_PURPOSE_RESAMPLE] == {0, 1, 2}
+        assert windows_seen[_PURPOSE_JITTER] == {1, 2}  # no jitter in window 0
+
+    def test_resample_draws_differ_across_windows(self, small_truth):
+        """Identical weight vectors in different windows must not resample
+        to identical ancestor indices (the observable symptom of the bug)."""
+        from repro.core.smc import _PURPOSE_RESAMPLE
+        from repro.core.resampling import multinomial_resample
+        calib = calibrator(WindowSchedule.from_breaks([10, 20]), small_truth)
+        w = np.full(50, 1 / 50)
+        picks = [multinomial_resample(
+            w, 50, calib._bank.ancillary_generator(_PURPOSE_RESAMPLE,
+                                                   window_index=i))
+            for i in range(3)]
+        assert not np.array_equal(picks[0], picks[1])
+        assert not np.array_equal(picks[1], picks[2])
+
+
 class TestRecovery:
     def test_theta_recovered_with_pinned_rho(self, small_truth):
         """With rho pinned at truth, theta must concentrate near 0.30."""

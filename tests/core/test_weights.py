@@ -127,3 +127,18 @@ class TestWeightedStats:
     def test_quantile_bounds_validated(self):
         with pytest.raises(ValueError):
             weighted_quantile(np.ones(3), np.ones(3) / 3, 1.5)
+
+    def test_weighted_quantile_0d_array_returns_scalar(self):
+        """Regression: a 0-d ndarray q is a scalar request, not a shape-(1,)
+        vector (np.isscalar is False for 0-d arrays)."""
+        v = np.arange(10.0)
+        w = np.full(10, 0.1)
+        out = weighted_quantile(v, w, np.asarray(0.5))
+        assert isinstance(out, float)
+        assert out == weighted_quantile(v, w, 0.5)
+
+    def test_weighted_quantile_1d_single_entry_stays_array(self):
+        v = np.arange(10.0)
+        w = np.full(10, 0.1)
+        out = weighted_quantile(v, w, np.array([0.5]))
+        assert out.shape == (1,)

@@ -142,6 +142,51 @@ class TestSeriesInvariants:
         assert w.value_on(lo) == ts.value_on(lo)
 
 
+class TestBatchedWeightingInvariants:
+    """The batched weighting stack must agree with the scalar reference."""
+
+    count_matrices = hnp.arrays(
+        np.float64, st.tuples(st.integers(1, 12), st.integers(1, 20)),
+        elements=st.floats(min_value=0, max_value=5_000))
+
+    @settings(max_examples=30)
+    @given(count_matrices, st.data())
+    def test_batched_logliks_match_scalar(self, eta, data):
+        from repro.core import (GaussianTransformLikelihood,
+                                NegativeBinomialLikelihood, PoissonLikelihood)
+        y = data.draw(hnp.arrays(np.float64, eta.shape[1],
+                                 elements=st.floats(min_value=0,
+                                                    max_value=5_000)))
+        for lik in (GaussianTransformLikelihood(),
+                    PoissonLikelihood(),
+                    NegativeBinomialLikelihood(dispersion=4.0)):
+            batched = lik.loglik_batch(y, eta)
+            scalar = np.array([lik.loglik(y, row) for row in eta])
+            assert batched.shape == (eta.shape[0],)
+            assert np.allclose(batched, scalar, rtol=1e-10, atol=1e-8)
+
+    @settings(max_examples=30)
+    @given(count_matrices, st.data())
+    def test_batched_bias_matches_scalar(self, counts, data):
+        from repro.core import BinomialBiasModel
+        rho = data.draw(hnp.arrays(
+            np.float64, counts.shape[0],
+            elements=st.floats(min_value=0.01, max_value=1.0)))
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        mean_b = BinomialBiasModel("mean").apply_batch(counts, rho)
+        mean_s = np.vstack([BinomialBiasModel("mean").apply(counts[i], rho[i])
+                            for i in range(len(rho))])
+        assert np.array_equal(mean_b, mean_s)
+        r1 = np.random.Generator(np.random.PCG64(seed))
+        r2 = np.random.Generator(np.random.PCG64(seed))
+        sample_b = BinomialBiasModel("sample").apply_batch(counts, rho, r1)
+        sample_s = np.vstack([
+            BinomialBiasModel("sample").apply(counts[i], rho[i], r2)
+            for i in range(len(rho))])
+        assert np.array_equal(sample_b, sample_s)
+        assert np.all(sample_b <= np.rint(counts))
+
+
 class TestBiasInvariants:
     @settings(max_examples=25)
     @given(hnp.arrays(np.int64, st.integers(1, 30),

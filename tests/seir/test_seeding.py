@@ -72,3 +72,42 @@ class TestSeedSequenceBank:
     def test_window_restart_seed_reproducible(self):
         assert (SeedSequenceBank(7).window_restart_seed(5, 1, 2)
                 == SeedSequenceBank(7).window_restart_seed(5, 1, 2))
+
+
+class TestWindowedAncillaryStreams:
+    """Regression tests for the cross-window RNG stream reuse bug: every
+    per-window consumer (jitter, bias thinning, resampling) must get a
+    distinct stream per window instead of replaying window 0's draws."""
+
+    PURPOSES = (1, 2, 3)  # bias, resample, jitter
+
+    def test_streams_pairwise_distinct_across_windows(self):
+        bank = SeedSequenceBank(7)
+        for purpose in self.PURPOSES:
+            draws = [tuple(bank.ancillary_generator(purpose, window_index=w)
+                           .integers(0, 2**62, size=6))
+                     for w in range(6)]
+            assert len(set(draws)) == 6
+
+    def test_windowed_stream_differs_from_unwindowed(self):
+        bank = SeedSequenceBank(7)
+        plain = bank.ancillary_generator(1).integers(0, 2**62, size=6)
+        windowed = bank.ancillary_generator(1, window_index=0).integers(
+            0, 2**62, size=6)
+        assert not np.array_equal(plain, windowed)
+
+    def test_windowed_streams_distinct_across_purposes(self):
+        bank = SeedSequenceBank(7)
+        a = bank.ancillary_generator(1, window_index=3).integers(0, 2**62, size=6)
+        b = bank.ancillary_generator(2, window_index=3).integers(0, 2**62, size=6)
+        assert not np.array_equal(a, b)
+
+    def test_windowed_stream_reproducible(self):
+        a = SeedSequenceBank(7).ancillary_generator(2, window_index=4)
+        b = SeedSequenceBank(7).ancillary_generator(2, window_index=4)
+        assert np.array_equal(a.integers(0, 2**62, size=6),
+                              b.integers(0, 2**62, size=6))
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="window_index"):
+            SeedSequenceBank(7).ancillary_generator(1, window_index=-1)
