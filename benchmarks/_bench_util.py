@@ -3,7 +3,28 @@ import name never collides with the test suite's conftest)."""
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def time_best(fn, repeats: int):
+    """Best-of-``repeats`` wall time; returns ``(seconds, last_result)``."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def write_payload(payload: dict, output: Path) -> None:
+    """Write a benchmark JSON payload, creating parent directories."""
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")

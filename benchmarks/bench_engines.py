@@ -1,10 +1,13 @@
-"""Engine ablation — binomial-leap vs exact SSA vs event-driven.
+"""Engine ablation — binomial-leap vs exact SSA vs event-driven vs batched.
 
 A DESIGN.md design choice: the paper's CMS simulator is event-driven; our
 workhorse is the vectorised binomial leap.  This bench validates that choice
 by measuring (a) distributional agreement of attack rates and deaths on a
 small population where the exact SSA is feasible, and (b) the throughput gap
-that makes the leap engine the only viable option at Chicago scale.
+that makes the leap engine the only viable option at Chicago scale.  A third
+test sweeps the batched ensemble engine across ensemble sizes against the
+scalar leap loop and emits a machine-readable comparison matrix alongside
+the existing ablation outputs.
 """
 
 from __future__ import annotations
@@ -14,8 +17,8 @@ import time
 import numpy as np
 
 from _bench_util import once
-from repro.seir import (BinomialLeapEngine, DiseaseParameters,
-                        EventDrivenEngine, GillespieEngine)
+from repro.seir import (BatchedBinomialLeapEngine, BinomialLeapEngine,
+                        DiseaseParameters, EventDrivenEngine, GillespieEngine)
 from repro.viz import write_json
 
 SMALL = DiseaseParameters(population=3_000, initial_exposed=30,
@@ -81,3 +84,51 @@ def test_leap_cost_independent_of_population(benchmark, output_dir):
           f"2.7M pop {1000 * big_s:.1f} ms for 60 days")
     # Within an order of magnitude despite a 270x population ratio.
     assert big_s < 10 * small_s + 0.05
+
+
+def test_batched_engine_matrix(benchmark, output_dir):
+    """Batched vs scalar leap across ensemble sizes (machine-readable)."""
+    def sweep():
+        rows = {}
+        for n in (64, 256, 1024):
+            seeds = np.arange(n) + 900
+            t0 = time.perf_counter()
+            scalar_attack = np.empty(n)
+            for i, seed in enumerate(seeds):
+                traj = BinomialLeapEngine(SMALL, seed=int(seed),
+                                          steps_per_day=4).run_until(HORIZON)
+                scalar_attack[i] = traj.total_infections() / SMALL.population
+            scalar_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            batch = BatchedBinomialLeapEngine(
+                SMALL, seeds, steps_per_day=4).run_until(HORIZON)
+            batched_s = time.perf_counter() - t0
+            batched_attack = batch.infections.sum(axis=1) / SMALL.population
+            rows[str(n)] = {
+                "scalar_seconds": scalar_s,
+                "batched_seconds": batched_s,
+                "speedup": scalar_s / batched_s,
+                "scalar_attack_mean": float(scalar_attack.mean()),
+                "batched_attack_mean": float(batched_attack.mean()),
+            }
+        return rows
+
+    rows = once(benchmark, sweep)
+    summary = {"population": SMALL.population, "horizon": HORIZON,
+               "engines": ("binomial_leap", "binomial_leap_batched"),
+               "sizes": rows}
+    write_json(output_dir / "engines_batched_matrix.json", summary)
+    print("\nbatched engine matrix (3k population, 50 days):")
+    for n, row in rows.items():
+        print(f"  n={n}: scalar {row['scalar_seconds']:.2f}s, "
+              f"batched {row['batched_seconds']:.3f}s "
+              f"({row['speedup']:.1f}x), attack "
+              f"{row['scalar_attack_mean']:.3f} vs "
+              f"{row['batched_attack_mean']:.3f}")
+        # Distributional agreement with the scalar oracle.
+        np.testing.assert_allclose(row["batched_attack_mean"],
+                                   row["scalar_attack_mean"], rtol=0.2)
+    # Batching must win, and win more at larger ensembles.
+    assert rows["1024"]["speedup"] > 1.0
+    assert rows["1024"]["speedup"] >= rows["64"]["speedup"] * 0.5

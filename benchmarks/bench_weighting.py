@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 
+from _bench_util import time_best, write_payload
 from repro.core import Particle, ParticleEnsemble, paper_observation_model
 from repro.data import CASES, DEATHS, ObservationSet, ObservationSource, TimeSeries
 from repro.seir import SeedSequenceBank, Trajectory
@@ -66,16 +66,6 @@ def build_observations(n_days: int, rng: np.random.Generator) -> ObservationSet:
                           channel=DEATHS, biased=False))
 
 
-def _time_best(fn, repeats: int) -> tuple[float, np.ndarray]:
-    best = np.inf
-    out = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
-
-
 def run_weighting_bench(n_particles: int = DEFAULT_PARTICLES,
                         n_days: int = DEFAULT_DAYS,
                         repeats: int = 3, seed: int = 20240215) -> dict:
@@ -106,8 +96,8 @@ def run_weighting_bench(n_particles: int = DEFAULT_PARTICLES,
             r = bank.ancillary_generator(1, window_index=0)
             return om.loglik_ensemble(observations, ensemble, rho, r)
 
-        scalar_s, scalar_ll = _time_best(scalar, repeats)
-        batched_s, batched_ll = _time_best(batched, repeats)
+        scalar_s, scalar_ll = time_best(scalar, repeats)
+        batched_s, batched_ll = time_best(batched, repeats)
         max_abs_diff = float(np.max(np.abs(scalar_ll - batched_ll)))
         payload["modes"][mode] = {
             "scalar_seconds": scalar_s,
@@ -118,11 +108,6 @@ def run_weighting_bench(n_particles: int = DEFAULT_PARTICLES,
             "max_abs_loglik_diff": max_abs_diff,
         }
     return payload
-
-
-def write_payload(payload: dict, output: Path) -> None:
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def test_weighting_throughput(benchmark, output_dir):

@@ -1,0 +1,105 @@
+"""Benchmark trend check: fail loudly when a batched-path speedup regresses.
+
+Compares every ``speedup`` ratio in a freshly generated benchmark JSON
+(e.g. the CI smoke runs of ``bench_weighting.py`` / ``bench_simulation.py``)
+against the committed baseline payload at the same JSON path.  Because CI
+machines are slower and noisier than the box that produced the baseline,
+the check is a *ratio* guard, not an absolute one: a fresh speedup must
+reach at least ``--min-fraction`` of its baseline value and never fall
+below the absolute ``--floor``.  A batched path collapsing to scalar speed
+(ratio ~1) trips both.
+
+Usage::
+
+    python benchmarks/check_trend.py \
+        --baseline BENCH_weighting.json --fresh BENCH_weighting_smoke.json
+    python benchmarks/check_trend.py \
+        --baseline BENCH_simulation.json --fresh BENCH_simulation_smoke.json
+
+Exits non-zero (and prints the offending paths) on any regression, which is
+what makes the CI step fail loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_MIN_FRACTION = 0.25
+DEFAULT_FLOOR = 1.5
+
+
+def extract_speedups(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Map of ``dotted.json.path -> value`` for every ``speedup`` key."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if key == "speedup" and isinstance(value, (int, float)):
+            out[prefix] = float(value)
+        elif isinstance(value, dict):
+            out.update(extract_speedups(value, path))
+    return out
+
+
+def check_trend(baseline: dict, fresh: dict, min_fraction: float,
+                floor: float) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    base_speedups = extract_speedups(baseline)
+    fresh_speedups = extract_speedups(fresh)
+    if not fresh_speedups:
+        return ["fresh payload contains no 'speedup' entries"]
+    failures: list[str] = []
+    compared = 0
+    for path, fresh_value in sorted(fresh_speedups.items()):
+        base_value = base_speedups.get(path)
+        if base_value is None:
+            print(f"  [skip] {path}: no baseline entry "
+                  f"(fresh {fresh_value:.2f}x)")
+            continue
+        compared += 1
+        threshold = max(floor, min_fraction * base_value)
+        status = "ok" if fresh_value >= threshold else "FAIL"
+        print(f"  [{status:>4}] {path}: fresh {fresh_value:.2f}x vs "
+              f"baseline {base_value:.2f}x (threshold {threshold:.2f}x)")
+        if fresh_value < threshold:
+            failures.append(
+                f"{path}: speedup {fresh_value:.2f}x below threshold "
+                f"{threshold:.2f}x (baseline {base_value:.2f}x)")
+    if compared == 0:
+        failures.append(
+            "no comparable 'speedup' paths between baseline and fresh "
+            "payloads — smoke run and baseline have diverged in shape")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed benchmark JSON (the trend anchor)")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated benchmark JSON to check")
+    parser.add_argument("--min-fraction", type=float,
+                        default=DEFAULT_MIN_FRACTION,
+                        help="fresh speedup must reach this fraction of the "
+                             "baseline value (machine-noise allowance)")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="absolute minimum acceptable speedup")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    print(f"trend check: {args.fresh} vs baseline {args.baseline}")
+    failures = check_trend(baseline, fresh, args.min_fraction, args.floor)
+    if failures:
+        print("\nBENCHMARK REGRESSION DETECTED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,10 +33,31 @@ cross-checked against.  All per-window ancillary randomness (jitter, bias
 thinning, resampling) draws from window-indexed streams of the
 :class:`~repro.seir.seeding.SeedSequenceBank`, so no two windows ever share
 a random stream.
+
+The *simulation* step is batched by default too
+(``SMCConfig(engine="binomial_leap_batched")``): both the first-window and
+every continuation ensemble are advanced as one
+``(n_particles, n_compartments)`` state matrix by the
+:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine`, bypassing the
+per-task dict/JSON checkpoint round-trips and the executor entirely — the
+:class:`ParticleEnsemble` is built directly from the stacked day-by-day
+outputs.  Particles whose structural parameters differ (anything beyond the
+transmission rate, e.g. a ``param_map`` targeting ``mild_fraction``) are
+grouped by structural identity and each group is stepped as its own batch.
+Selecting any scalar engine (``engine="binomial_leap"`` and friends)
+restores the per-particle executor path unchanged; the scalar engine is the
+reference oracle the batched engine is parity-tested against.  Batched
+runs are bit-reproducible given the base seed via the dedicated batch
+stream keyed by the ordered per-group seed vector
+(:func:`~repro.seir.seeding.batch_generator_for`, surfaced on the bank as
+:meth:`~repro.seir.seeding.SeedSequenceBank.batch_simulation_generator`);
+scalar and batched runs agree in distribution, not bit-for-bit (see the
+batch RNG contract in :mod:`repro.seir.batch_engine`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -45,8 +66,10 @@ import numpy as np
 from ..data.sources import ObservationSet
 from ..hpc.executor import Executor, SerialExecutor
 from ..seir.checkpoint import Checkpoint
-from ..seir.model import StochasticSEIRModel
+from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
+                          StochasticSEIRModel, batch_engine_class)
 from ..seir.outputs import Trajectory
+from ..seir.tauleap import transition_table_key
 from ..seir.parameters import DiseaseParameters, ParameterOverride
 from ..seir.seeding import SeedSequenceBank
 from .diagnostics import WindowDiagnostics, compute_diagnostics
@@ -81,6 +104,11 @@ class SMCConfig:
     The paper-scale configuration is ``n_parameter_draws=25_000,
     n_replicates=20, resample_size=10_000``; defaults here are laptop-scale
     with identical algorithmic behaviour.
+
+    ``engine`` may name a scalar engine (per-particle tasks mapped through
+    the executor) or a batched ensemble engine (the default,
+    ``"binomial_leap_batched"``), which simulates whole windows in-process
+    as stacked state matrices.
     """
 
     n_parameter_draws: int = 500
@@ -88,7 +116,7 @@ class SMCConfig:
     resample_size: int = 500
     n_continuations: int = 1
     resampler: str = "multinomial"
-    engine: str = "binomial_leap"
+    engine: str = "binomial_leap_batched"
     engine_options: dict = field(default_factory=dict)
     base_seed: int = 20240215
     keep_weighted_ensemble: bool = False
@@ -102,7 +130,17 @@ class SMCConfig:
         if self.weighting not in ("batched", "scalar"):
             raise ValueError(
                 f"weighting must be 'batched' or 'scalar', got {self.weighting!r}")
+        if self.engine not in ENGINE_NAMES and \
+                self.engine not in BATCH_ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: "
+                f"{ENGINE_NAMES + BATCH_ENGINE_NAMES}")
         get_resampler(self.resampler)  # validate eagerly
+
+    @property
+    def uses_batched_simulation(self) -> bool:
+        """True when ``engine`` names a whole-ensemble (batched) engine."""
+        return self.engine in BATCH_ENGINE_NAMES
 
     @property
     def first_window_ensemble_size(self) -> int:
@@ -171,6 +209,7 @@ def _run_first_window_task(task: _FirstWindowTask) -> tuple[Trajectory, dict]:
     """Simulate day ``start_day`` .. ``end_day`` from scratch; checkpoint at end."""
     params = DiseaseParameters.from_dict(task.params_payload)
     model = StochasticSEIRModel(params, task.seed, engine=task.engine,
+                                start_day=task.start_day,
                                 **dict(task.engine_options))
     trajectory = model.run_until(task.end_day)
     return trajectory, model.checkpoint().to_dict()
@@ -243,6 +282,13 @@ class SequentialCalibrator:
         self._progress = progress or (lambda _msg: None)
         self._bank = SeedSequenceBank(self.config.base_seed)
         self._validate()
+        if self.config.uses_batched_simulation and self.executor.workers > 1:
+            warnings.warn(
+                f"engine {self.config.engine!r} simulates whole ensembles "
+                "in-process, so the configured executor "
+                f"({self.executor.workers} workers) is not used for "
+                "simulation; select a scalar engine (e.g. 'binomial_leap') "
+                "to fan tasks across workers", RuntimeWarning, stacklevel=2)
 
     def _validate(self) -> None:
         prior_names = set(self.prior.names)
@@ -299,16 +345,40 @@ class SequentialCalibrator:
         updates = {fld: float(draw[name]) for name, fld in self.param_map.items()}
         return self.base_params.with_updates(**updates)
 
+    @staticmethod
+    def _structural_groups(params_list: list[DiseaseParameters]) -> list[list[int]]:
+        """Index groups sharing one batched-engine structure.
+
+        Members of a batch must agree on everything the engine compiles or
+        initialises from (population, seeding, stage structure); only the
+        transmission rate is carried per member.  With the default
+        ``param_map`` (theta only) there is exactly one group.  A
+        ``param_map`` targeting a *structural* field with a continuous
+        jitter makes every particle its own group, degrading the batched
+        path to serial singleton engines — for such maps prefer a scalar
+        engine plus a parallel executor.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for idx, params in enumerate(params_list):
+            key = (params.population, params.initial_exposed,
+                   transition_table_key(params))
+            groups.setdefault(key, []).append(idx)
+        return list(groups.values())
+
     def _first_window_ensemble(self, window: TimeWindow) -> ParticleEnsemble:
         cfg = self.config
         rng_prior = self._bank.ancillary_generator(_PURPOSE_PRIOR)
         draws = self.prior.sample(cfg.n_parameter_draws, rng_prior)
         seeds = self._bank.common_replicate_seeds(cfg.n_replicates)
+        draw_dicts = [{name: float(draws[name][i]) for name in self.prior.names}
+                      for i in range(cfg.n_parameter_draws)]
+        if cfg.uses_batched_simulation:
+            return self._first_window_ensemble_batched(window, draw_dicts,
+                                                       seeds)
 
         tasks = []
         meta = []  # (draw_index, seed)
-        for i in range(cfg.n_parameter_draws):
-            draw = {name: float(draws[name][i]) for name in self.prior.names}
+        for i, draw in enumerate(draw_dicts):
             payload = self._params_for_draw(draw).to_dict()
             for seed in seeds:
                 tasks.append(_FirstWindowTask(
@@ -323,12 +393,55 @@ class SequentialCalibrator:
 
         particles = []
         for (i, seed), (trajectory, cp_payload) in zip(meta, outputs):
-            params = {name: float(draws[name][i]) for name in self.prior.names}
             particles.append(Particle(
-                params=params, seed=seed,
+                params=draw_dicts[i], seed=seed,
                 segment=trajectory.window(window.start_day, window.end_day),
                 history=trajectory,
                 checkpoint=Checkpoint.from_dict(cp_payload)))
+        return ParticleEnsemble(particles)
+
+    def _first_window_ensemble_batched(self, window: TimeWindow,
+                                       draw_dicts: list[dict[str, float]],
+                                       seeds: list[int]) -> ParticleEnsemble:
+        """Simulate the prior ensemble as stacked state matrices, in-process.
+
+        Replicates share the particle order of the scalar path (draw-major,
+        replicate-minor), so the two paths are positionally comparable.
+        """
+        cfg = self.config
+        engine_cls = batch_engine_class(cfg.engine)
+        entry_draws: list[dict[str, float]] = []
+        entry_params: list[DiseaseParameters] = []
+        entry_seeds: list[int] = []
+        for draw in draw_dicts:
+            params = self._params_for_draw(draw)
+            for seed in seeds:
+                entry_draws.append(draw)
+                entry_params.append(params)
+                entry_seeds.append(seed)
+        self._progress(f"window 0: batch-simulating {len(entry_seeds)} "
+                       "prior trajectories")
+
+        particles: list[Particle | None] = [None] * len(entry_seeds)
+        for indices in self._structural_groups(entry_params):
+            member_params = [entry_params[i] for i in indices]
+            thetas = np.array([p.transmission_rate for p in member_params])
+            group_seeds = np.array([entry_seeds[i] for i in indices],
+                                   dtype=np.int64)
+            engine = engine_cls(member_params[0], group_seeds, thetas=thetas,
+                                start_day=self.schedule.burn_in_start,
+                                rng=self._bank.batch_simulation_generator(
+                                    group_seeds),
+                                **dict(cfg.engine_options))
+            batch = engine.run_until(window.end_day)
+            for j, idx in enumerate(indices):
+                history = batch.trajectory(j)
+                particles[idx] = Particle(
+                    params=entry_draws[idx], seed=int(group_seeds[j]),
+                    segment=history.window(window.start_day, window.end_day),
+                    history=history,
+                    checkpoint=Checkpoint(params=member_params[j],
+                                          snapshot=engine.particle_snapshot(j)))
         return ParticleEnsemble(particles)
 
     def _continuation_ensemble(self, window: TimeWindow, index: int,
@@ -338,7 +451,6 @@ class SequentialCalibrator:
                                                     window_index=index)
         centers = {name: posterior.values(name) for name in self.prior.names}
 
-        tasks = []
         proposed_params: list[dict[str, float]] = []
         seeds: list[int] = []
         parents: list[Particle] = []
@@ -346,19 +458,35 @@ class SequentialCalibrator:
             proposal = self.jitter.propose(centers, rng_jitter)
             for j, parent in enumerate(posterior):
                 draw = {name: float(proposal[name][j]) for name in self.prior.names}
-                seed = self._bank.window_restart_seed(
-                    parent.seed, index, j + c * len(posterior))
-                override: dict = {"seed": seed}
-                override.update({fld: draw[name]
-                                 for name, fld in self.param_map.items()})
-                assert parent.checkpoint is not None
-                tasks.append(_ContinuationTask(
-                    checkpoint_payload=parent.checkpoint.to_dict(),
-                    override_payload=override,
-                    end_day=window.end_day))
                 proposed_params.append(draw)
-                seeds.append(seed)
+                seeds.append(self._bank.window_restart_seed(
+                    parent.seed, index, j + c * len(posterior)))
                 parents.append(parent)
+        if cfg.uses_batched_simulation:
+            self._progress(
+                f"window {index}: batch-restarting {len(parents)} "
+                f"checkpoints ({window.label()})")
+            return self._continuation_ensemble_batched(
+                window, proposed_params, seeds, parents)
+
+        # Resampling duplicates ancestors, and every continuation re-visits
+        # each parent, so serialise each distinct parent checkpoint once per
+        # window instead of once per task.
+        payload_cache: dict[int, dict] = {}
+        tasks = []
+        for draw, seed, parent in zip(proposed_params, seeds, parents):
+            assert parent.checkpoint is not None
+            payload = payload_cache.get(id(parent.checkpoint))
+            if payload is None:
+                payload = parent.checkpoint.to_dict()
+                payload_cache[id(parent.checkpoint)] = payload
+            override: dict = {"seed": seed}
+            override.update({fld: draw[name]
+                             for name, fld in self.param_map.items()})
+            tasks.append(_ContinuationTask(
+                checkpoint_payload=payload,
+                override_payload=override,
+                end_day=window.end_day))
         self._progress(
             f"window {index}: restarting {len(tasks)} checkpoints "
             f"({window.label()})")
@@ -372,6 +500,46 @@ class SequentialCalibrator:
             particles.append(Particle(
                 params=draw, seed=seed, segment=segment, history=history,
                 checkpoint=Checkpoint.from_dict(cp_payload)))
+        return ParticleEnsemble(particles)
+
+    def _continuation_ensemble_batched(self, window: TimeWindow,
+                                       proposed_params: list[dict[str, float]],
+                                       seeds: list[int],
+                                       parents: list[Particle],
+                                       ) -> ParticleEnsemble:
+        """Restart the whole posterior as stacked state matrices, in-process.
+
+        Parent checkpoint snapshots are consumed directly (no dict/JSON
+        round-trip); each group starts a fresh batch stream keyed by its
+        window-restart seed vector, the ensemble-wide form of the paper's
+        restart knob 1.
+        """
+        cfg = self.config
+        engine_cls = batch_engine_class(cfg.engine)
+        params_list = [self._params_for_draw(draw) for draw in proposed_params]
+        particles: list[Particle | None] = [None] * len(parents)
+        for indices in self._structural_groups(params_list):
+            snapshots = []
+            for i in indices:
+                assert parents[i].checkpoint is not None
+                snapshots.append(parents[i].checkpoint.snapshot)
+            member_params = [params_list[i] for i in indices]
+            thetas = np.array([p.transmission_rate for p in member_params])
+            group_seeds = np.array([seeds[i] for i in indices], dtype=np.int64)
+            engine = engine_cls.from_particle_snapshots(
+                snapshots, member_params[0], seeds=group_seeds, thetas=thetas,
+                rng=self._bank.batch_simulation_generator(group_seeds))
+            batch = engine.run_until(window.end_day)
+            for j, idx in enumerate(indices):
+                segment = batch.trajectory(j)
+                parent = parents[idx]
+                history = parent.history.extended_by(segment) \
+                    if parent.history is not None else segment
+                particles[idx] = Particle(
+                    params=proposed_params[idx], seed=int(group_seeds[j]),
+                    segment=segment, history=history,
+                    checkpoint=Checkpoint(params=member_params[j],
+                                          snapshot=engine.particle_snapshot(j)))
         return ParticleEnsemble(particles)
 
     # ------------------------------------------------------------------ #

@@ -51,7 +51,10 @@ class CalibrationConfig:
     sigma: float = 1.0
     bias_mode: str = "sample"
     resampler: str = "multinomial"
-    engine: str = "binomial_leap"
+    #: "binomial_leap_batched" steps each window's whole ensemble as one
+    #: state matrix in-process; any scalar engine name restores the
+    #: per-particle executor path.
+    engine: str = "binomial_leap_batched"
     steps_per_day: int = 4
 
     executor: str = "serial"
@@ -91,7 +94,9 @@ class CalibrationConfig:
             resampler=self.resampler,
             engine=self.engine,
             engine_options=({"steps_per_day": self.steps_per_day}
-                            if self.engine == "binomial_leap" else {}),
+                            if self.engine in ("binomial_leap",
+                                               "binomial_leap_batched")
+                            else {}),
             base_seed=self.base_seed,
             keep_weighted_ensemble=self.keep_weighted_ensemble,
         )

@@ -11,6 +11,13 @@ covering exactly the six knobs the paper allows, so a stored posterior
 trajectory can be continued "along a new trajectory" with an updated
 transmission rate and a fresh random seed — the mechanism that makes
 window-to-window sequential calibration O(window) instead of O(history).
+
+Batch snapshots: :func:`stack_leap_snapshots` validates a set of scalar
+binomial-leap snapshots taken at the same day and stacks their state into
+the arrays the batched ensemble engine
+(:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine`) restarts
+from, so a whole posterior's continuation needs no per-particle engine
+objects or JSON round-trips.
 """
 
 from __future__ import annotations
@@ -19,12 +26,15 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from ..data.schedule import PiecewiseConstant
 from .parameters import DiseaseParameters, ParameterOverride
 
-__all__ = ["Checkpoint", "CheckpointError"]
+__all__ = ["Checkpoint", "CheckpointError", "StackedLeapState",
+           "stack_leap_snapshots"]
 
 _FORMAT_VERSION = 1
 
@@ -147,3 +157,79 @@ class Checkpoint:
             except json.JSONDecodeError as exc:
                 raise CheckpointError(f"checkpoint file is not valid JSON: {exc}") from exc
         return cls.from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Batch snapshots
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StackedLeapState:
+    """Column-stacked state of many same-day binomial-leap snapshots.
+
+    The interchange format between per-particle checkpoints (what the
+    calibrator stores and resamples) and the batched ensemble engine (which
+    restarts a whole particle cloud at once).
+    """
+
+    day: int
+    steps_per_day: int
+    counts: np.ndarray            # (n_particles, n_compartments) int64
+    cum_infections: np.ndarray    # (n_particles,) int64
+    cum_deaths: np.ndarray        # (n_particles,) int64
+    seeds: np.ndarray             # (n_particles,) int64
+
+    @property
+    def n_particles(self) -> int:
+        return int(self.counts.shape[0])
+
+
+def stack_leap_snapshots(snapshots: Sequence[dict]) -> StackedLeapState:
+    """Validate and stack scalar ``binomial_leap`` snapshots for batching.
+
+    Every snapshot must come from the binomial-leap engine family, sit at
+    the same simulation day, and use the same ``steps_per_day`` — the batch
+    engine advances all members on one clock.  RNG state is *not* stacked:
+    a batched restart always begins a fresh batch stream (the paper's
+    restart knob 1 applied ensemble-wide; see
+    :func:`~repro.seir.seeding.batch_generator_for`).
+    """
+    if not snapshots:
+        raise CheckpointError("cannot stack an empty snapshot list")
+    first = snapshots[0]
+    try:
+        day = int(first["day"])
+        steps = int(first["steps_per_day"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed leap snapshot: {exc}") from exc
+    if steps < 1:
+        raise CheckpointError(f"snapshot steps_per_day must be >= 1, got {steps}")
+    counts_rows = []
+    cum_inf = np.empty(len(snapshots), dtype=np.int64)
+    cum_dead = np.empty(len(snapshots), dtype=np.int64)
+    seeds = np.empty(len(snapshots), dtype=np.int64)
+    for i, snap in enumerate(snapshots):
+        engine = str(snap.get("engine", ""))
+        if engine != "binomial_leap":
+            raise CheckpointError(
+                f"snapshot {i} is from engine {engine!r}; batch restart "
+                "requires binomial_leap snapshots")
+        try:
+            if int(snap["day"]) != day:
+                raise CheckpointError(
+                    f"snapshot {i} is at day {snap['day']}, expected {day}; "
+                    "a batch must share one clock")
+            if int(snap["steps_per_day"]) != steps:
+                raise CheckpointError(
+                    f"snapshot {i} uses steps_per_day={snap['steps_per_day']}, "
+                    f"expected {steps}")
+            counts_rows.append(np.asarray(snap["counts"], dtype=np.int64))
+            cum_inf[i] = int(snap["cum_infections"])
+            cum_dead[i] = int(snap["cum_deaths"])
+            seeds[i] = int(snap["seed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed leap snapshot {i}: {exc}") from exc
+    counts = np.vstack(counts_rows)
+    return StackedLeapState(day=day, steps_per_day=steps, counts=counts,
+                            cum_infections=cum_inf, cum_deaths=cum_dead,
+                            seeds=seeds)

@@ -27,7 +27,8 @@ from .outputs import Trajectory, TrajectoryBuilder
 from .parameters import DiseaseParameters
 from .seeding import generator_for
 from .tauleap import (CompiledTransitions, _rng_from_jsonable,
-                      _rng_state_to_jsonable, _theta_function)
+                      _rng_state_to_jsonable, _theta_function,
+                      compiled_transitions_for)
 
 __all__ = ["EventDrivenEngine", "ScheduledEvent"]
 
@@ -78,7 +79,7 @@ class EventDrivenEngine:
         self.seed = int(seed)
         self.theta_schedule = theta_schedule
         self._theta_of = _theta_function(params, theta_schedule)
-        self._table = CompiledTransitions(params)
+        self._table = compiled_transitions_for(params)
         self._rng = generator_for(seed)
         self.infection_slices_per_day = int(infection_slices_per_day)
 
@@ -231,7 +232,7 @@ class EventDrivenEngine:
         engine.params = params
         engine.theta_schedule = theta_schedule
         engine._theta_of = _theta_function(params, theta_schedule)
-        engine._table = CompiledTransitions(params)
+        engine._table = compiled_transitions_for(params)
         engine.infection_slices_per_day = int(snapshot["infection_slices_per_day"])
         engine._day = int(snapshot["day"])
         engine._counts = np.asarray(snapshot["counts"], dtype=np.int64).copy()

@@ -22,10 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SeedSequenceBank", "generator_for", "mix_seed"]
+__all__ = ["SeedSequenceBank", "generator_for", "batch_generator_for",
+           "mix_seed"]
 
 _SIMULATION_STREAM = 0
 _ANCILLARY_STREAM = 1
+_BATCH_STREAM = 2
 
 
 def generator_for(seed: int) -> np.random.Generator:
@@ -36,6 +38,28 @@ def generator_for(seed: int) -> np.random.Generator:
     regardless of which process or engine instance runs the simulation.
     """
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(int(seed))))
+
+
+def batch_generator_for(seeds) -> np.random.Generator:
+    """One shared stream for a whole ensemble, keyed by the seed *vector*.
+
+    The batched simulation engine advances every ensemble member from a
+    single generator, so the per-member scalar contract ``(theta, s) ->
+    trajectory`` is replaced by a batch-level one: the ordered seed vector
+    (plus the batch-stream tag) fully determines every member's draws.  Two
+    batched runs with the same parameters and the same seed vector in the
+    same order are bit-identical; permuting, growing, or shrinking the
+    ensemble re-keys the stream and changes every member's draws (they stay
+    correct in distribution).  The tag keeps the batch stream disjoint from
+    the scalar per-trajectory streams of :func:`generator_for`, so mixing
+    scalar and batched engines in one run never aliases randomness.
+    """
+    entropy = [_BATCH_STREAM] + [int(s) & 0x7FFFFFFFFFFFFFFF
+                                 for s in np.asarray(seeds, dtype=np.int64)]
+    if len(entropy) < 2:
+        raise ValueError("batch stream needs at least one seed")
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(
+        entropy=entropy)))
 
 
 def mix_seed(*components: int) -> int:
@@ -98,6 +122,18 @@ class SeedSequenceBank:
             key = key + (int(window_index),)
         ss = np.random.SeedSequence(self.base_seed, spawn_key=key)
         return np.random.Generator(np.random.PCG64(ss))
+
+    def batch_simulation_generator(self, seeds) -> np.random.Generator:
+        """The batch-engine stream for an ordered ensemble seed vector.
+
+        Thin, discoverable front door to :func:`batch_generator_for`: the
+        bank's ``base_seed`` is already folded into every seed the bank
+        hands out (:meth:`common_replicate_seeds`,
+        :meth:`window_restart_seed`), so the batch stream is fully
+        determined by ``(base_seed, seed vector, ensemble order)`` without
+        mixing the base seed in a second time.
+        """
+        return batch_generator_for(seeds)
 
     def window_restart_seed(self, original_seed: int, window_index: int,
                             particle_index: int) -> int:

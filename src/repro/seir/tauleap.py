@@ -15,18 +15,33 @@ stochastic update in which, during each substep of length ``dt``:
 The engine simulates **one trajectory per instance** with its own
 ``numpy`` generator derived from the particle seed.  That preserves the
 paper's central invariant — ``(theta, s)`` maps one-to-one to a trajectory —
-which vectorised multi-trajectory batching with a shared RNG would break
-(each member's draws would depend on the batch composition).  Ensemble
-concurrency is instead provided across instances by :mod:`repro.hpc`.
+which vectorised multi-trajectory batching with a *shared* RNG cannot: each
+member's draws would depend on the batch composition.  Ensemble concurrency
+across scalar instances is provided by :mod:`repro.hpc`; alternatively
+:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine` steps the whole
+particle cloud as one ``(n_particles, n_compartments)`` state matrix under a
+relaxed, batch-level RNG contract (bit-reproducible given the *ordered* seed
+vector via :func:`~repro.seir.seeding.batch_generator_for`; equal to this
+engine in distribution, not bit-for-bit).  This scalar engine remains the
+reference oracle the batched engine is cross-checked against.
 
 Within a trajectory the update is fully vectorised over compartments: the
 per-substep cost is one vectorised binomial draw for all exits plus one
 multinomial per *active* multi-destination compartment, per the
 scientific-python optimisation guidance (no per-individual Python loops).
+
+Because the transition table depends only on the *structural* disease
+parameters — everything except ``population``, ``initial_exposed`` and
+``transmission_rate``, which the leap update reads directly —
+:func:`compiled_transitions_for` memoises :class:`CompiledTransitions` by
+that identity.  Sequential calibration restarts tens of thousands of engines
+per window whose draws differ only in theta (and seed), so the table is
+built once per distinct structure instead of once per engine.
 """
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
 from typing import Callable
 
 import numpy as np
@@ -38,7 +53,8 @@ from .outputs import Trajectory, TrajectoryBuilder
 from .parameters import DiseaseParameters
 from .seeding import generator_for
 
-__all__ = ["BinomialLeapEngine", "CompiledTransitions"]
+__all__ = ["BinomialLeapEngine", "CompiledTransitions",
+           "compiled_transitions_for", "transition_table_key"]
 
 # Hot-loop integer constants (enum attribute access is measurably slow).
 _S = int(Compartment.S)
@@ -92,6 +108,47 @@ class CompiledTransitions:
 
         self.infection_weights = infectiousness_weights(params)
 
+        # Instances are shared across engines via compiled_transitions_for;
+        # freeze the arrays consumers index into so sharing stays safe.
+        self.sources.setflags(write=False)
+        self.total_hazards.setflags(write=False)
+        self.infection_weights.setflags(write=False)
+        for arr in (*self.dest_indices, *self.dest_probs, *self.dest_is_death):
+            arr.setflags(write=False)
+
+
+#: Disease-parameter fields that shape the transition table / infection
+#: weights; the complement (population, initial_exposed, transmission_rate)
+#: feeds the leap update directly and never invalidates a compiled table.
+_STRUCTURAL_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclass_fields(DiseaseParameters)
+    if f.name not in ("population", "initial_exposed", "transmission_rate"))
+
+_TABLE_CACHE: dict[tuple, CompiledTransitions] = {}
+_TABLE_CACHE_MAX = 128
+
+
+def transition_table_key(params: DiseaseParameters) -> tuple:
+    """Memoisation key: the structural parameter fields, in field order."""
+    return tuple(getattr(params, name) for name in _STRUCTURAL_FIELDS)
+
+
+def compiled_transitions_for(params: DiseaseParameters) -> CompiledTransitions:
+    """Memoised :class:`CompiledTransitions` lookup by structural identity.
+
+    Engines restarted with only theta/seed overrides (the common sequential
+    calibration case) share one immutable table, making engine construction
+    near-free.  The cache is process-local and capped; eviction is FIFO.
+    """
+    key = transition_table_key(params)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+            _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+        table = CompiledTransitions(params)
+        _TABLE_CACHE[key] = table
+    return table
+
 
 def _theta_function(params: DiseaseParameters,
                     schedule: PiecewiseConstant | None) -> Callable[[float], float]:
@@ -133,7 +190,7 @@ class BinomialLeapEngine:
         self.steps_per_day = int(steps_per_day)
         self.theta_schedule = theta_schedule
         self._theta_of = _theta_function(params, theta_schedule)
-        self._table = CompiledTransitions(params)
+        self._table = compiled_transitions_for(params)
         self._prepare_fast_tables()
         self._rng = generator_for(seed)
 
@@ -290,7 +347,7 @@ class BinomialLeapEngine:
         engine.steps_per_day = int(snapshot["steps_per_day"])
         engine.theta_schedule = theta_schedule
         engine._theta_of = _theta_function(params, theta_schedule)
-        engine._table = CompiledTransitions(params)
+        engine._table = compiled_transitions_for(params)
         engine._prepare_fast_tables()
         engine._day = int(snapshot["day"])
         engine._counts = np.asarray(snapshot["counts"], dtype=np.int64).copy()

@@ -1,0 +1,210 @@
+"""Tests for the batched simulation path of the sequential calibrator.
+
+The scalar engine path is the reference oracle; the batched path must agree
+with it *distributionally* (overlapping per-window credible intervals, the
+PR-1 weighting precedent) while bypassing the executor and the per-task
+dict/JSON checkpoint round-trips entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (Beta, IndependentProduct, JointJitter,
+                        SequentialCalibrator, SMCConfig, Uniform,
+                        UniformJitter, WindowSchedule,
+                        paper_first_window_prior, paper_observation_model,
+                        paper_window_jitter)
+from repro.data import PiecewiseConstant
+from repro.hpc import SerialExecutor
+from repro.seir import Checkpoint, DiseaseParameters
+from repro.sim import make_ground_truth
+
+
+@pytest.fixture(scope="module")
+def small_truth():
+    params = DiseaseParameters(population=50_000, initial_exposed=100)
+    return make_ground_truth(params=params, horizon=35, seed=555,
+                             theta_schedule=PiecewiseConstant.constant(0.30),
+                             rho_schedule=PiecewiseConstant.constant(0.7))
+
+
+def calibrator(schedule, truth, engine, *, base_seed=17, executor=None,
+               param_map=None, prior=None, jitter=None, n_continuations=1):
+    return SequentialCalibrator(
+        base_params=truth.params,
+        prior=prior or paper_first_window_prior(),
+        jitter=jitter or paper_window_jitter(),
+        observation_model=paper_observation_model(),
+        schedule=schedule,
+        config=SMCConfig(n_parameter_draws=40, n_replicates=2,
+                         resample_size=60, base_seed=base_seed,
+                         engine=engine, n_continuations=n_continuations),
+        executor=executor,
+        param_map=param_map)
+
+
+class TestConfig:
+    def test_batched_engine_is_default(self):
+        assert SMCConfig().engine == "binomial_leap_batched"
+        assert SMCConfig().uses_batched_simulation
+
+    def test_scalar_engines_not_batched(self):
+        assert not SMCConfig(engine="binomial_leap").uses_batched_simulation
+        assert not SMCConfig(engine="gillespie").uses_batched_simulation
+
+    def test_unknown_engine_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SMCConfig(engine="bogus_engine")
+
+
+class TestScalarBatchedParity:
+    """Acceptance: batched posteriors overlap the scalar run's intervals."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
+        obs = small_truth.observations()
+        results = {}
+        for engine in ("binomial_leap", "binomial_leap_batched"):
+            calib = calibrator(schedule, small_truth, engine)
+            results[engine] = calib.run(obs)
+        return results
+
+    def test_per_window_credible_intervals_overlap(self, runs):
+        for w in range(2):
+            for name in ("theta", "rho"):
+                lo_s, hi_s = runs["binomial_leap"][w].posterior \
+                    .credible_interval(name, 0.9)
+                lo_b, hi_b = runs["binomial_leap_batched"][w].posterior \
+                    .credible_interval(name, 0.9)
+                assert lo_b <= hi_s and lo_s <= hi_b, (
+                    f"window {w} {name}: scalar [{lo_s:.3f}, {hi_s:.3f}] vs "
+                    f"batched [{lo_b:.3f}, {hi_b:.3f}] do not overlap")
+
+    def test_posterior_means_close(self, runs):
+        for w in range(2):
+            t_s = runs["binomial_leap"][w].posterior.weighted_mean("theta")
+            t_b = runs["binomial_leap_batched"][w].posterior \
+                .weighted_mean("theta")
+            assert t_b == pytest.approx(t_s, abs=0.08)
+
+    def test_batched_particles_carry_scalar_checkpoints(self, runs):
+        for result in runs["binomial_leap_batched"]:
+            for p in result.posterior.particles[:5]:
+                assert isinstance(p.checkpoint, Checkpoint)
+                assert p.checkpoint.engine_name == "binomial_leap"
+                assert p.checkpoint.day == result.window.end_day
+
+    def test_batched_histories_contiguous(self, runs):
+        final = runs["binomial_leap_batched"][-1].posterior
+        for p in final.particles[:10]:
+            assert p.history.start_day == 0
+            assert p.history.end_day == 30
+            assert p.segment.start_day == 20
+
+
+class TestBatchedRunBehaviour:
+    def test_reproducible_given_base_seed(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20])
+        obs = small_truth.observations()
+        r1 = calibrator(schedule, small_truth,
+                        "binomial_leap_batched").run(obs)
+        r2 = calibrator(schedule, small_truth,
+                        "binomial_leap_batched").run(obs)
+        assert np.array_equal(r1[0].posterior.values("theta"),
+                              r2[0].posterior.values("theta"))
+        assert np.array_equal(r1[0].posterior.values("rho"),
+                              r2[0].posterior.values("rho"))
+
+    def test_executor_bypassed(self, small_truth):
+        class SpyExecutor(SerialExecutor):
+            calls = 0
+
+            def map(self, fn, tasks):
+                SpyExecutor.calls += 1
+                return super().map(fn, tasks)
+
+        schedule = WindowSchedule.from_breaks([10, 20])
+        spy = SpyExecutor()
+        calibrator(schedule, small_truth, "binomial_leap_batched",
+                   executor=spy).run(small_truth.observations())
+        assert SpyExecutor.calls == 0
+
+    def test_burn_in_start_honoured_by_both_paths(self, small_truth):
+        """Scalar and batched first windows must share the burn-in clock."""
+        obs = small_truth.observations()
+        histories = {}
+        for engine in ("binomial_leap", "binomial_leap_batched"):
+            schedule = WindowSchedule.from_breaks([12, 22], burn_in_start=4)
+            result = calibrator(schedule, small_truth, engine).run(obs)[0]
+            p = result.posterior[0]
+            histories[engine] = p.history
+            assert p.history.start_day == 4
+            assert p.segment.start_day == 12
+        assert histories["binomial_leap"].end_day == \
+            histories["binomial_leap_batched"].end_day
+
+    def test_multiple_continuations(self, small_truth):
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
+        results = calibrator(schedule, small_truth, "binomial_leap_batched",
+                             n_continuations=2).run(
+            small_truth.observations())
+        assert len(results[-1].posterior) == 60
+
+    def test_structural_param_map_splits_batches(self, small_truth):
+        """A param_map touching a structural field still calibrates."""
+        prior = IndependentProduct({
+            "theta": Uniform(0.1, 0.5),
+            "rho": Beta(4, 1),
+            "mild": Uniform(0.85, 0.97),
+        })
+        jitter = JointJitter({"theta": UniformJitter.symmetric(0.05),
+                              "rho": UniformJitter.symmetric(0.02),
+                              "mild": UniformJitter.symmetric(0.01)})
+        schedule = WindowSchedule.from_breaks([10, 20])
+        calib = SequentialCalibrator(
+            base_params=small_truth.params, prior=prior, jitter=jitter,
+            observation_model=paper_observation_model(), schedule=schedule,
+            config=SMCConfig(n_parameter_draws=8, n_replicates=2,
+                             resample_size=12, base_seed=5,
+                             engine="binomial_leap_batched"),
+            param_map={"theta": "transmission_rate",
+                       "mild": "mild_fraction"})
+        result = calib.run(small_truth.observations())[0]
+        assert len(result.posterior) == 12
+        for p in result.posterior.particles[:5]:
+            # Each particle's checkpoint carries its own structural draw.
+            assert p.checkpoint.params.mild_fraction == pytest.approx(
+                p.params["mild"])
+            assert p.checkpoint.params.transmission_rate == pytest.approx(
+                p.params["theta"])
+
+
+class TestContinuationPayloadCache:
+    def test_parent_checkpoints_serialised_once_per_window(self, small_truth,
+                                                           monkeypatch):
+        """Scalar path: to_dict once per distinct parent, not per task."""
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
+        calib = calibrator(schedule, small_truth, "binomial_leap",
+                           n_continuations=3)
+        obs = small_truth.observations()
+        window0, window1 = list(calib.schedule)
+        posterior = calib._weigh_and_resample(
+            0, window0, calib._first_window_ensemble(window0), obs).posterior
+
+        parent_ids = {id(p.checkpoint) for p in posterior}
+        counts = {"parent_to_dict": 0}
+        original = Checkpoint.to_dict
+
+        def counting_to_dict(self):
+            if id(self) in parent_ids:
+                counts["parent_to_dict"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Checkpoint, "to_dict", counting_to_dict)
+        ensemble = calib._continuation_ensemble(window1, 1, posterior)
+        # 60 parents x 3 continuations = 180 tasks, but each distinct parent
+        # checkpoint object (resampling duplicates share one) is serialised
+        # exactly once.
+        assert len(ensemble) == 180
+        assert counts["parent_to_dict"] == len(parent_ids)

@@ -117,10 +117,15 @@ class TestForecastContinuity:
 
 class TestParallelEquivalence:
     def test_process_pool_matches_serial(self, varying_truth, town_params):
-        """The executor must not change the statistics, only the speed."""
+        """The executor must not change the statistics, only the speed.
+
+        Pinned to the scalar engine: the batched engine simulates in-process
+        and bypasses (and warns about) a multi-worker executor.
+        """
         cfg = CalibrationConfig(window_breaks=(10, 20),
                                 n_parameter_draws=20, n_replicates=2,
-                                resample_size=25, base_seed=13)
+                                resample_size=25, base_seed=13,
+                                engine="binomial_leap")
         serial = calibrate(varying_truth.observations(), cfg,
                            base_params=town_params)
         with ProcessExecutor(max_workers=2) as ex:
