@@ -36,28 +36,37 @@ a random stream.
 
 The *simulation* step is batched by default too
 (``SMCConfig(engine="binomial_leap_batched")``): both the first-window and
-every continuation ensemble are advanced as one
-``(n_particles, n_compartments)`` state matrix by the
-:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine`, bypassing the
-per-task dict/JSON checkpoint round-trips and the executor entirely — the
-:class:`ParticleEnsemble` is built directly from the stacked day-by-day
-outputs.  Particles whose structural parameters differ (anything beyond the
-transmission rate, e.g. a ``param_map`` targeting ``mild_fraction``) are
-grouped by structural identity and each group is stepped as its own batch.
-Selecting any scalar engine (``engine="binomial_leap"`` and friends)
-restores the per-particle executor path unchanged; the scalar engine is the
-reference oracle the batched engine is parity-tested against.  Batched
-runs are bit-reproducible given the base seed via the dedicated batch
-stream keyed by the ordered per-group seed vector
-(:func:`~repro.seir.seeding.batch_generator_for`, surfaced on the bank as
-:meth:`~repro.seir.seeding.SeedSequenceBank.batch_simulation_generator`);
-scalar and batched runs agree in distribution, not bit-for-bit (see the
-batch RNG contract in :mod:`repro.seir.batch_engine`).
+every continuation ensemble are advanced as stacked
+``(n_particles, n_compartments)`` state matrices by the
+:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine`, with no
+per-task dict/JSON checkpoint round-trips — the :class:`ParticleEnsemble`
+is built directly from the stacked day-by-day outputs.  Particles whose
+structural parameters differ (anything beyond the transmission rate, e.g. a
+``param_map`` targeting ``mild_fraction``) are grouped by structural
+identity and each group is stepped as its own batch.
+
+Batched simulation is *sharded* across the executor
+(:mod:`repro.hpc.sharding`): each structural group is split into
+contiguous, evenly chunked sub-batches (``SMCConfig.shard_size`` /
+``n_shards``; ``"auto"`` matches the executor's worker count), the shards
+are fanned out as one executor map per window, and the stacked shard
+outputs are stitched back into the ensemble in order.  A
+:class:`~repro.hpc.executor.SerialExecutor` under the auto policy gets
+exactly one shard per group — the in-process fast path with zero pickling.
+Every shard draws from its own batch stream keyed by the ordered seed
+vector of its slice
+(:meth:`~repro.seir.seeding.SeedSequenceBank.shard_simulation_generators`),
+so a run is bit-reproducible given ``(base_seed, shard layout)`` and
+identical across executors for the same layout; different layouts — like
+scalar vs batched engines — agree in distribution only (see the batch RNG
+contract in :mod:`repro.seir.batch_engine`).  Selecting any scalar engine
+(``engine="binomial_leap"`` and friends) restores the per-particle executor
+path unchanged; the scalar engine is the reference oracle the batched
+engine is parity-tested against.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -65,11 +74,13 @@ import numpy as np
 
 from ..data.sources import ObservationSet
 from ..hpc.executor import Executor, SerialExecutor
+from ..hpc.sharding import (build_group_specs, resolve_shard_layout,
+                            simulate_groups, structural_groups,
+                            validate_shard_policy)
 from ..seir.checkpoint import Checkpoint
 from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
-                          StochasticSEIRModel, batch_engine_class)
+                          StochasticSEIRModel)
 from ..seir.outputs import Trajectory
-from ..seir.tauleap import transition_table_key
 from ..seir.parameters import DiseaseParameters, ParameterOverride
 from ..seir.seeding import SeedSequenceBank
 from .diagnostics import WindowDiagnostics, compute_diagnostics
@@ -107,8 +118,16 @@ class SMCConfig:
 
     ``engine`` may name a scalar engine (per-particle tasks mapped through
     the executor) or a batched ensemble engine (the default,
-    ``"binomial_leap_batched"``), which simulates whole windows in-process
-    as stacked state matrices.
+    ``"binomial_leap_batched"``), which simulates whole windows as stacked
+    state matrices, sharded across the executor.
+
+    ``shard_size``/``n_shards`` control the sharded batched dispatch:
+    ``n_shards="auto"`` (the default) cuts each structural group into one
+    shard per executor worker — a serial executor keeps the in-process
+    single-shard fast path — while an explicit ``shard_size`` (members per
+    shard; wins over ``n_shards``) or integer ``n_shards`` pins the layout,
+    making results bit-reproducible across executors (see
+    :mod:`repro.hpc.sharding`).  Scalar engines ignore both knobs.
     """
 
     n_parameter_draws: int = 500
@@ -118,6 +137,8 @@ class SMCConfig:
     resampler: str = "multinomial"
     engine: str = "binomial_leap_batched"
     engine_options: dict = field(default_factory=dict)
+    shard_size: int | None = None
+    n_shards: int | str = "auto"
     base_seed: int = 20240215
     keep_weighted_ensemble: bool = False
     weighting: str = "batched"
@@ -135,6 +156,7 @@ class SMCConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; available: "
                 f"{ENGINE_NAMES + BATCH_ENGINE_NAMES}")
+        validate_shard_policy(self.shard_size, self.n_shards)
         get_resampler(self.resampler)  # validate eagerly
 
     @property
@@ -282,13 +304,6 @@ class SequentialCalibrator:
         self._progress = progress or (lambda _msg: None)
         self._bank = SeedSequenceBank(self.config.base_seed)
         self._validate()
-        if self.config.uses_batched_simulation and self.executor.workers > 1:
-            warnings.warn(
-                f"engine {self.config.engine!r} simulates whole ensembles "
-                "in-process, so the configured executor "
-                f"({self.executor.workers} workers) is not used for "
-                "simulation; select a scalar engine (e.g. 'binomial_leap') "
-                "to fan tasks across workers", RuntimeWarning, stacklevel=2)
 
     def _validate(self) -> None:
         prior_names = set(self.prior.names)
@@ -345,25 +360,17 @@ class SequentialCalibrator:
         updates = {fld: float(draw[name]) for name, fld in self.param_map.items()}
         return self.base_params.with_updates(**updates)
 
-    @staticmethod
-    def _structural_groups(params_list: list[DiseaseParameters]) -> list[list[int]]:
-        """Index groups sharing one batched-engine structure.
+    def _shard_layout_kwargs(self) -> dict:
+        """Resolve the configured shard policy against the executor.
 
-        Members of a batch must agree on everything the engine compiles or
-        initialises from (population, seeding, stage structure); only the
-        transmission rate is carried per member.  With the default
-        ``param_map`` (theta only) there is exactly one group.  A
-        ``param_map`` targeting a *structural* field with a continuous
-        jitter makes every particle its own group, degrading the batched
-        path to serial singleton engines — for such maps prefer a scalar
-        engine plus a parallel executor.
+        Delegates to the shared policy implementation
+        (:func:`~repro.hpc.sharding.resolve_shard_layout`): one shard per
+        worker under ``"auto"``, so a serial executor keeps the
+        single-shard in-process fast path.
         """
-        groups: dict[tuple, list[int]] = {}
-        for idx, params in enumerate(params_list):
-            key = (params.population, params.initial_exposed,
-                   transition_table_key(params))
-            groups.setdefault(key, []).append(idx)
-        return list(groups.values())
+        return resolve_shard_layout(self.executor,
+                                    shard_size=self.config.shard_size,
+                                    n_shards=self.config.n_shards)
 
     def _first_window_ensemble(self, window: TimeWindow) -> ParticleEnsemble:
         cfg = self.config
@@ -403,13 +410,15 @@ class SequentialCalibrator:
     def _first_window_ensemble_batched(self, window: TimeWindow,
                                        draw_dicts: list[dict[str, float]],
                                        seeds: list[int]) -> ParticleEnsemble:
-        """Simulate the prior ensemble as stacked state matrices, in-process.
+        """Simulate the prior ensemble as sharded stacked state matrices.
 
         Replicates share the particle order of the scalar path (draw-major,
         replicate-minor), so the two paths are positionally comparable.
+        Each structural group is split into contiguous shards fanned across
+        the executor; every shard draws from its own batch stream keyed by
+        its seed slice (see :mod:`repro.hpc.sharding`).
         """
         cfg = self.config
-        engine_cls = batch_engine_class(cfg.engine)
         entry_draws: list[dict[str, float]] = []
         entry_params: list[DiseaseParameters] = []
         entry_seeds: list[int] = []
@@ -419,29 +428,30 @@ class SequentialCalibrator:
                 entry_draws.append(draw)
                 entry_params.append(params)
                 entry_seeds.append(seed)
-        self._progress(f"window 0: batch-simulating {len(entry_seeds)} "
-                       "prior trajectories")
+
+        groups = structural_groups(entry_params)
+        specs = build_group_specs(groups, entry_params, entry_seeds,
+                                  start_day=self.schedule.burn_in_start)
+        layout = self._shard_layout_kwargs()
+        self._progress(f"window 0: batch-simulating {len(entry_seeds)} prior "
+                       f"trajectories ({len(groups)} structural group(s), "
+                       f"{self.executor.workers} worker(s))")
+        shards = simulate_groups(self.executor, specs,
+                                 end_day=window.end_day, engine=cfg.engine,
+                                 engine_options=cfg.engine_options, **layout)
 
         particles: list[Particle | None] = [None] * len(entry_seeds)
-        for indices in self._structural_groups(entry_params):
-            member_params = [entry_params[i] for i in indices]
-            thetas = np.array([p.transmission_rate for p in member_params])
-            group_seeds = np.array([entry_seeds[i] for i in indices],
-                                   dtype=np.int64)
-            engine = engine_cls(member_params[0], group_seeds, thetas=thetas,
-                                start_day=self.schedule.burn_in_start,
-                                rng=self._bank.batch_simulation_generator(
-                                    group_seeds),
-                                **dict(cfg.engine_options))
-            batch = engine.run_until(window.end_day)
-            for j, idx in enumerate(indices):
-                history = batch.trajectory(j)
+        for indices, group in zip(groups, shards):
+            for member, result, row in group.member_items():
+                idx = indices[member]
+                history = result.batch.trajectory(row)
                 particles[idx] = Particle(
-                    params=entry_draws[idx], seed=int(group_seeds[j]),
+                    params=entry_draws[idx], seed=int(entry_seeds[idx]),
                     segment=history.window(window.start_day, window.end_day),
                     history=history,
-                    checkpoint=Checkpoint(params=member_params[j],
-                                          snapshot=engine.particle_snapshot(j)))
+                    checkpoint=Checkpoint(
+                        params=entry_params[idx],
+                        snapshot=result.particle_snapshot(row)))
         return ParticleEnsemble(particles)
 
     def _continuation_ensemble(self, window: TimeWindow, index: int,
@@ -507,39 +517,41 @@ class SequentialCalibrator:
                                        seeds: list[int],
                                        parents: list[Particle],
                                        ) -> ParticleEnsemble:
-        """Restart the whole posterior as stacked state matrices, in-process.
+        """Restart the whole posterior as sharded stacked state matrices.
 
-        Parent checkpoint snapshots are consumed directly (no dict/JSON
-        round-trip); each group starts a fresh batch stream keyed by its
-        window-restart seed vector, the ensemble-wide form of the paper's
-        restart knob 1.
+        Parent checkpoint snapshots are stacked **once per group** and
+        sliced per shard (no dict/JSON round-trip, no per-particle
+        payloads); each shard starts a fresh batch stream keyed by its
+        slice of the window-restart seed vector — the ensemble-wide form of
+        the paper's restart knob 1.
         """
         cfg = self.config
-        engine_cls = batch_engine_class(cfg.engine)
         params_list = [self._params_for_draw(draw) for draw in proposed_params]
+        groups = structural_groups(params_list)
+        for parent in parents:
+            assert parent.checkpoint is not None
+        specs = build_group_specs(
+            groups, params_list, seeds,
+            snapshots=[p.checkpoint.snapshot for p in parents])
+        shards = simulate_groups(self.executor, specs,
+                                 end_day=window.end_day, engine=cfg.engine,
+                                 engine_options=cfg.engine_options,
+                                 **self._shard_layout_kwargs())
+
         particles: list[Particle | None] = [None] * len(parents)
-        for indices in self._structural_groups(params_list):
-            snapshots = []
-            for i in indices:
-                assert parents[i].checkpoint is not None
-                snapshots.append(parents[i].checkpoint.snapshot)
-            member_params = [params_list[i] for i in indices]
-            thetas = np.array([p.transmission_rate for p in member_params])
-            group_seeds = np.array([seeds[i] for i in indices], dtype=np.int64)
-            engine = engine_cls.from_particle_snapshots(
-                snapshots, member_params[0], seeds=group_seeds, thetas=thetas,
-                rng=self._bank.batch_simulation_generator(group_seeds))
-            batch = engine.run_until(window.end_day)
-            for j, idx in enumerate(indices):
-                segment = batch.trajectory(j)
+        for indices, group in zip(groups, shards):
+            for member, result, row in group.member_items():
+                idx = indices[member]
+                segment = result.batch.trajectory(row)
                 parent = parents[idx]
                 history = parent.history.extended_by(segment) \
                     if parent.history is not None else segment
                 particles[idx] = Particle(
-                    params=proposed_params[idx], seed=int(group_seeds[j]),
+                    params=proposed_params[idx], seed=int(seeds[idx]),
                     segment=segment, history=history,
-                    checkpoint=Checkpoint(params=member_params[j],
-                                          snapshot=engine.particle_snapshot(j)))
+                    checkpoint=Checkpoint(
+                        params=params_list[idx],
+                        snapshot=result.particle_snapshot(row)))
         return ParticleEnsemble(particles)
 
     # ------------------------------------------------------------------ #

@@ -1,11 +1,15 @@
-"""HPC execution substrate: executors, MPI-like collectives, partitioning."""
+"""HPC execution substrate: executors, MPI-like collectives, partitioning,
+and sharded dispatch of batched ensemble simulation."""
 
 from .checkpoint_io import CheckpointStore, StoreManifest
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
                        ThreadExecutor, default_executor, make_executor)
 from .mpi_like import REDUCE_OPS, MpiLikeComm, SpmdError, run_spmd
 from .partition import (block_partition, chunk_sizes, cyclic_partition,
-                        lpt_partition, partition_bounds)
+                        lpt_partition, partition_bounds, shard_bounds)
+from .sharding import (GroupShards, GroupSpec, ShardResult, ShardTask,
+                       dispatch_shards, run_shard, simulate_groups,
+                       structural_groups)
 from .reduce import (allreduce_sum, logsumexp_pair, merge_logsumexp,
                      merge_weighted_mean, tree_reduce)
 from .scheduler import (ScheduleResult, compare_policies, simulate_static,
@@ -16,7 +20,9 @@ __all__ = [
     "default_executor", "make_executor",
     "MpiLikeComm", "run_spmd", "SpmdError", "REDUCE_OPS",
     "block_partition", "cyclic_partition", "chunk_sizes",
-    "lpt_partition", "partition_bounds",
+    "lpt_partition", "partition_bounds", "shard_bounds",
+    "GroupSpec", "GroupShards", "ShardTask", "ShardResult",
+    "run_shard", "dispatch_shards", "simulate_groups", "structural_groups",
     "tree_reduce", "logsumexp_pair", "merge_logsumexp",
     "merge_weighted_mean", "allreduce_sum",
     "ScheduleResult", "simulate_static", "simulate_work_stealing",

@@ -1,0 +1,323 @@
+"""Sharded dispatch of batched ensemble simulation across executor workers.
+
+The batched engine (:class:`~repro.seir.batch_engine.BatchedBinomialLeapEngine`)
+advances a whole particle cloud as one state matrix — ~18x faster than
+per-particle tasks, but single-process.  This module splits each window's
+structural groups into contiguous, evenly chunked sub-batches
+(:func:`~repro.hpc.partition.shard_bounds`), maps the shards across any
+:class:`~repro.hpc.executor.Executor`, and reassembles the stacked shard
+outputs **in order**, so the calibrator and the forecaster get multi-core
+scaling of the already-batched hot path without giving up batching.
+
+Design contract
+---------------
+* **Per-shard RNG** — every shard is its own batch: its stream is keyed by
+  the ordered seed vector of its slice
+  (:meth:`~repro.seir.seeding.SeedSequenceBank.shard_simulation_generators`).
+  Results are therefore bit-reproducible given ``(base_seed, shard
+  layout)`` and independent of which executor (or process) runs each
+  shard; different layouts agree in distribution only.
+* **Lean payloads** — one :class:`ShardTask` per shard carries the shared
+  structural parameters once, the slice's seed/theta vectors, and (for
+  restarts) the slice of the stacked parent state — never per-particle
+  dicts or JSON.  With a :class:`~repro.hpc.executor.SerialExecutor`
+  nothing is pickled at all (its ``map`` calls :func:`run_shard` in
+  process), which is the single-shard fast path the calibrator uses by
+  default.
+* **Ordered reassembly** — executors must preserve task order, but
+  :func:`dispatch_shards` does not rely on it: every result echoes its
+  ``shard_id`` and is placed by it, so even a misbehaving out-of-order
+  backend reassembles the ensemble correctly (or fails loudly on
+  duplicates/omissions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..seir.batch_engine import BatchTrajectory, leap_particle_snapshot
+from ..seir.checkpoint import StackedLeapState, stack_leap_snapshots
+from ..seir.model import batch_engine_class
+from ..seir.parameters import DiseaseParameters
+from ..seir.seeding import batch_generator_for
+from ..seir.tauleap import transition_table_key
+from .executor import Executor
+from .partition import shard_bounds
+
+__all__ = ["GroupSpec", "GroupShards", "ShardTask", "ShardResult",
+           "run_shard", "dispatch_shards", "simulate_groups",
+           "structural_groups", "build_group_specs",
+           "validate_shard_policy", "resolve_shard_layout"]
+
+
+def validate_shard_policy(shard_size: int | None,
+                          n_shards: int | str) -> None:
+    """Reject malformed shard knobs (shared by config- and call-time checks)."""
+    if shard_size is not None and shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    if isinstance(n_shards, str):
+        if n_shards != "auto":
+            raise ValueError(
+                f"n_shards must be 'auto' or an int >= 1, got {n_shards!r}")
+    elif n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if shard_size is not None and n_shards != "auto":
+        raise ValueError("pass shard_size or an explicit n_shards, not both")
+
+
+def resolve_shard_layout(executor: Executor, *, shard_size: int | None = None,
+                         n_shards: int | str = "auto") -> dict:
+    """Validate a shard policy and resolve it against an executor.
+
+    The single implementation of the layout policy shared by the
+    calibrator and the forecaster: an explicit ``shard_size`` (members per
+    shard) wins and excludes an explicit ``n_shards``; ``n_shards="auto"``
+    targets one shard per executor worker (a serial executor keeps the
+    single-shard in-process fast path).  Returns the keyword dict
+    :func:`simulate_groups` / :func:`~repro.hpc.partition.shard_bounds`
+    expect.
+    """
+    validate_shard_policy(shard_size, n_shards)
+    if shard_size is not None:
+        return {"shard_size": shard_size}
+    if n_shards == "auto":
+        return {"n_shards": max(1, executor.workers)}
+    return {"n_shards": n_shards}
+
+
+def structural_groups(params_list: Sequence[DiseaseParameters]) -> list[list[int]]:
+    """Index groups sharing one batched-engine structure.
+
+    Members of a batch must agree on everything the engine compiles or
+    initialises from (population, seeding, stage structure); only the
+    transmission rate is carried per member.  With the calibrator's default
+    ``param_map`` (theta only) there is exactly one group.  A ``param_map``
+    targeting a *structural* field with a continuous jitter makes every
+    particle its own group, degrading the batched path to serial singleton
+    engines — for such maps prefer a scalar engine plus a parallel
+    executor.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for idx, params in enumerate(params_list):
+        key = (params.population, params.initial_exposed,
+               transition_table_key(params))
+        groups.setdefault(key, []).append(idx)
+    return list(groups.values())
+
+
+# --------------------------------------------------------------------------- #
+# Shard task / result (module-level and array-backed: picklable and lean)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardTask:
+    """One contiguous sub-batch of a structural group, ready to simulate.
+
+    Exactly one of ``start_day`` (fresh start from the seeding state) and
+    ``state`` (restart from a slice of stacked parent checkpoints) is set.
+    ``seeds`` is the shard's slice of the group's ordered seed vector and
+    keys the shard's batch RNG stream.  ``engine_options`` apply to fresh
+    starts only: a restart inherits its clock and ``steps_per_day`` from
+    the stacked state, so restart tasks carry an empty dict.
+    """
+
+    shard_id: int
+    params: DiseaseParameters
+    seeds: np.ndarray
+    thetas: np.ndarray
+    end_day: int
+    engine: str
+    engine_options: dict = field(default_factory=dict)
+    start_day: int | None = None
+    state: StackedLeapState | None = None
+    return_state: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.start_day is None) == (self.state is None):
+            raise ValueError("exactly one of start_day/state must be set")
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Stacked outputs of one shard, tagged for ordered reassembly."""
+
+    shard_id: int
+    batch: BatchTrajectory
+    state: StackedLeapState | None
+
+    def particle_snapshot(self, j: int) -> dict:
+        """Member ``j``'s final state as a scalar ``binomial_leap`` snapshot."""
+        if self.state is None:
+            raise ValueError("shard was run with return_state=False")
+        s = self.state
+        return leap_particle_snapshot(s.day, s.counts[j], s.cum_infections[j],
+                                      s.cum_deaths[j], s.steps_per_day,
+                                      s.seeds[j])
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Simulate one shard (worker-side entry point; picklable).
+
+    Builds the shard's own batch stream from its seed slice via
+    :func:`~repro.seir.seeding.batch_generator_for` — the same keying
+    function behind
+    :meth:`~repro.seir.seeding.SeedSequenceBank.shard_simulation_generators`
+    (the bank method is the parent-side front door; both sides delegate to
+    the one function, which is what makes shard results a pure function of
+    the task payload regardless of which process runs them).
+    """
+    engine_cls = batch_engine_class(task.engine)
+    seeds = np.asarray(task.seeds, dtype=np.int64)
+    thetas = np.asarray(task.thetas, dtype=np.float64)
+    rng = batch_generator_for(seeds)
+    if task.state is not None:
+        engine = engine_cls.from_particle_snapshots(
+            task.state, task.params, seeds=seeds, thetas=thetas, rng=rng)
+    else:
+        engine = engine_cls(task.params, seeds, thetas=thetas,
+                            start_day=task.start_day, rng=rng,
+                            **dict(task.engine_options))
+    batch = engine.run_until(task.end_day)
+    state = None
+    if task.return_state:
+        state = StackedLeapState(
+            day=engine.day, steps_per_day=engine.steps_per_day,
+            counts=engine.counts, cum_infections=engine.cumulative_infections,
+            cum_deaths=engine.cumulative_deaths, seeds=seeds)
+    return ShardResult(shard_id=task.shard_id, batch=batch, state=state)
+
+
+def dispatch_shards(executor: Executor,
+                    tasks: Sequence[ShardTask]) -> list[ShardResult]:
+    """Map shards across the executor; return results in ``shard_id`` order.
+
+    Reassembly is by the echoed ``shard_id``, not list position, so an
+    executor that returns results out of order still yields a correctly
+    ordered ensemble; duplicated or missing shards raise.
+    """
+    task_list = list(tasks)
+    if not task_list:
+        return []
+    ordered: list[ShardResult | None] = [None] * len(task_list)
+    for result in executor.map(run_shard, task_list):
+        if not 0 <= result.shard_id < len(task_list):
+            raise ValueError(f"executor returned unknown shard id "
+                             f"{result.shard_id}")
+        if ordered[result.shard_id] is not None:
+            raise ValueError(f"executor returned shard {result.shard_id} twice")
+        ordered[result.shard_id] = result
+    missing = [i for i, r in enumerate(ordered) if r is None]
+    if missing:
+        raise ValueError(f"executor dropped shards {missing}")
+    return ordered  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# Group-level front door
+# --------------------------------------------------------------------------- #
+def build_group_specs(groups: Sequence[Sequence[int]],
+                      params_list, seeds, *,
+                      start_day: int | None = None,
+                      snapshots=None) -> list["GroupSpec"]:
+    """One :class:`GroupSpec` per structural group over parallel arrays.
+
+    ``groups`` is :func:`structural_groups` output over ``params_list``;
+    ``seeds`` is the matching per-member seed list.  Fresh starts pass
+    ``start_day``; restarts pass ``snapshots`` (per-member scalar leap
+    snapshot dicts, stacked **once per group** here and sliced per shard
+    downstream).  Every member's theta rides in from its own params.
+    """
+    specs = []
+    for indices in groups:
+        state = None
+        if snapshots is not None:
+            state = stack_leap_snapshots([snapshots[i] for i in indices])
+        specs.append(GroupSpec(
+            params=params_list[indices[0]],
+            seeds=np.array([seeds[i] for i in indices], dtype=np.int64),
+            thetas=np.array([params_list[i].transmission_rate
+                             for i in indices]),
+            start_day=start_day, state=state))
+    return specs
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One structural group's simulation order (parent-side, never pickled).
+
+    ``seeds``/``thetas`` are the group's full ordered vectors; ``start_day``
+    or ``state`` selects fresh-start vs checkpoint-restart exactly as in
+    :class:`ShardTask` (``state`` covers the whole group and is sliced per
+    shard).
+    """
+
+    params: DiseaseParameters
+    seeds: np.ndarray
+    thetas: np.ndarray
+    start_day: int | None = None
+    state: StackedLeapState | None = None
+
+
+@dataclass(frozen=True)
+class GroupShards:
+    """One group's shard layout and its in-order results."""
+
+    bounds: list[tuple[int, int]]
+    results: list[ShardResult]
+
+    def member_items(self):
+        """Yield ``(member_index_within_group, shard_result, row)`` in order."""
+        for (lo, hi), result in zip(self.bounds, self.results):
+            for j in range(hi - lo):
+                yield lo + j, result, j
+
+
+def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
+                    end_day: int, engine: str, engine_options: dict | None = None,
+                    shard_size: int | None = None, n_shards: int | None = None,
+                    return_state: bool = True) -> list[GroupShards]:
+    """Shard every group, fan the shards across the executor, reassemble.
+
+    The workhorse behind the calibrator's batched window simulation and
+    batched forecasting.  Each group is chunked by
+    :func:`~repro.hpc.partition.shard_bounds` (``shard_size`` wins over
+    ``n_shards``; both ``None`` → one shard per group, the serial fast
+    path), all groups' shards are submitted as **one** executor map so
+    workers stay busy even when group sizes are uneven, and the results
+    are returned per group in member order.
+    """
+    tasks: list[ShardTask] = []
+    layouts: list[list[tuple[int, int]]] = []
+    placements: list[list[int]] = []  # per group: task ids of its shards
+    for spec in specs:
+        seeds = np.asarray(spec.seeds, dtype=np.int64)
+        thetas = np.asarray(spec.thetas, dtype=np.float64)
+        bounds = shard_bounds(len(seeds), shard_size=shard_size,
+                              n_shards=n_shards)
+        layouts.append(bounds)
+        task_ids = []
+        for lo, hi in bounds:
+            state = None
+            if spec.state is not None:
+                s = spec.state
+                state = StackedLeapState(
+                    day=s.day, steps_per_day=s.steps_per_day,
+                    counts=s.counts[lo:hi],
+                    cum_infections=s.cum_infections[lo:hi],
+                    cum_deaths=s.cum_deaths[lo:hi], seeds=s.seeds[lo:hi])
+            task_ids.append(len(tasks))
+            tasks.append(ShardTask(
+                shard_id=len(tasks), params=spec.params,
+                seeds=seeds[lo:hi], thetas=thetas[lo:hi], end_day=end_day,
+                engine=engine,
+                engine_options=(dict(engine_options or {})
+                                if spec.start_day is not None else {}),
+                start_day=spec.start_day, state=state,
+                return_state=return_state))
+        placements.append(task_ids)
+    results = dispatch_shards(executor, tasks)
+    return [GroupShards(bounds=layouts[g],
+                        results=[results[t] for t in placements[g]])
+            for g in range(len(specs))]

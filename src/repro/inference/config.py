@@ -51,11 +51,16 @@ class CalibrationConfig:
     sigma: float = 1.0
     bias_mode: str = "sample"
     resampler: str = "multinomial"
-    #: "binomial_leap_batched" steps each window's whole ensemble as one
-    #: state matrix in-process; any scalar engine name restores the
-    #: per-particle executor path.
+    #: "binomial_leap_batched" steps each window's whole ensemble as stacked
+    #: state matrices, sharded across the executor; any scalar engine name
+    #: restores the per-particle executor path.
     engine: str = "binomial_leap_batched"
     steps_per_day: int = 4
+    #: Batched-path shard layout: members per shard, or an explicit shard
+    #: count; the default "auto" policy cuts one shard per executor worker
+    #: (see repro.hpc.sharding).
+    shard_size: int | None = None
+    n_shards: int | str = "auto"
 
     executor: str = "serial"
     max_workers: int | None = None
@@ -97,6 +102,8 @@ class CalibrationConfig:
                             if self.engine in ("binomial_leap",
                                                "binomial_leap_batched")
                             else {}),
+            shard_size=self.shard_size,
+            n_shards=self.n_shards,
             base_seed=self.base_seed,
             keep_weighted_ensemble=self.keep_weighted_ensemble,
         )

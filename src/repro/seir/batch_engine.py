@@ -38,6 +38,22 @@ precedent in :mod:`repro.core.bias`).  Consequences, in contract form:
   bit-for-bit.  The paper's common-random-numbers replicate coupling is
   likewise distributional only under batching.
 
+Per-shard extension (sharded dispatch)
+--------------------------------------
+When a batch is split into contiguous shards to use several executor
+workers (:mod:`repro.hpc.sharding`), **each shard is its own batch**: its
+stream is keyed by the ordered seed vector of its slice alone
+(:meth:`~repro.seir.seeding.SeedSequenceBank.shard_simulation_generators`).
+Therefore
+
+* a sharded run is bit-reproducible given ``(base_seed, shard layout)``
+  and independent of *which* executor runs the shards (serial and process
+  pools agree bit-for-bit for the same layout),
+* a single shard covering the whole group reproduces the unsharded batch
+  stream exactly (the serial fast path), and
+* changing the shard layout re-keys every shard's stream — results across
+  layouts agree in distribution only, exactly as scalar vs batched do.
+
 Checkpoints are exported *per particle* in the scalar ``binomial_leap``
 snapshot format, so resampling, forecasting and scalar restarts consume
 them unchanged; the recorded RNG state is the fresh per-seed stream of
@@ -61,10 +77,35 @@ from .seeding import batch_generator_for, generator_for
 from .tauleap import (_rng_from_jsonable, _rng_state_to_jsonable,
                       compiled_transitions_for)
 
-__all__ = ["BatchedBinomialLeapEngine", "BatchTrajectory"]
+__all__ = ["BatchedBinomialLeapEngine", "BatchTrajectory",
+           "leap_particle_snapshot"]
 
 _S = int(Compartment.S)
 _E = int(Compartment.E)
+
+
+def leap_particle_snapshot(day: int, counts_row, cum_infections: int,
+                           cum_deaths: int, steps_per_day: int,
+                           seed: int) -> dict:
+    """One ensemble member's state as a scalar ``binomial_leap`` snapshot.
+
+    The interchange format between batched state (rows of a stacked count
+    matrix, wherever it lives — an engine in this process or a shard result
+    shipped back from a worker) and the scalar checkpoint machinery.  The
+    recorded RNG state is the member seed's fresh :func:`generator_for`
+    stream: a shared batch stream has no per-member marginal, and every
+    calibrator restart overrides the seed anyway.
+    """
+    return {
+        "engine": "binomial_leap",
+        "day": int(day),
+        "counts": np.asarray(counts_row, dtype=np.int64).tolist(),
+        "cum_infections": int(cum_infections),
+        "cum_deaths": int(cum_deaths),
+        "steps_per_day": int(steps_per_day),
+        "seed": int(seed),
+        "rng_state": _rng_state_to_jsonable(generator_for(int(seed))),
+    }
 _HOSP_COLS = np.array([int(c) for c in HOSPITAL_COMPARTMENTS], dtype=np.int64)
 _ICU_COLS = np.array([int(c) for c in ICU_COMPARTMENTS], dtype=np.int64)
 
@@ -406,21 +447,14 @@ class BatchedBinomialLeapEngine:
         """Member ``i``'s state as a scalar ``binomial_leap`` snapshot.
 
         Consumable by :class:`~repro.seir.tauleap.BinomialLeapEngine` and
-        :class:`~repro.seir.checkpoint.Checkpoint` unchanged.  The recorded
-        RNG state is the member seed's fresh :func:`generator_for` stream
-        (the shared batch stream has no per-member marginal); calibrator
-        restarts always override the seed anyway.
+        :class:`~repro.seir.checkpoint.Checkpoint` unchanged; see
+        :func:`leap_particle_snapshot` for the format and RNG-state
+        convention.
         """
-        return {
-            "engine": "binomial_leap",
-            "day": self._day,
-            "counts": self._counts[i].tolist(),
-            "cum_infections": int(self._cum_infections[i]),
-            "cum_deaths": int(self._cum_deaths[i]),
-            "steps_per_day": self.steps_per_day,
-            "seed": int(self.seeds[i]),
-            "rng_state": _rng_state_to_jsonable(generator_for(int(self.seeds[i]))),
-        }
+        return leap_particle_snapshot(self._day, self._counts[i],
+                                      self._cum_infections[i],
+                                      self._cum_deaths[i], self.steps_per_day,
+                                      self.seeds[i])
 
     def particle_checkpoint(self, i: int) -> Checkpoint:
         """Member ``i`` as a :class:`Checkpoint` carrying its own theta."""

@@ -53,6 +53,13 @@ def batch_generator_for(seeds) -> np.random.Generator:
     correct in distribution).  The tag keeps the batch stream disjoint from
     the scalar per-trajectory streams of :func:`generator_for`, so mixing
     scalar and batched engines in one run never aliases randomness.
+
+    This is also the **per-shard contract** of the sharded dispatch layer
+    (:mod:`repro.hpc.sharding`): a shard covering slice ``[lo, hi)`` of a
+    group's ordered seed vector draws from
+    ``batch_generator_for(seeds[lo:hi])`` — a pure function of the slice
+    contents, so shard results do not depend on which worker (or process)
+    simulates them, only on the layout that produced the slices.
     """
     entropy = [_BATCH_STREAM] + [int(s) & 0x7FFFFFFFFFFFFFFF
                                  for s in np.asarray(seeds, dtype=np.int64)]
@@ -134,6 +141,34 @@ class SeedSequenceBank:
         mixing the base seed in a second time.
         """
         return batch_generator_for(seeds)
+
+    def shard_simulation_generators(self, seeds, bounds) -> list[np.random.Generator]:
+        """Per-shard batch streams for a sharded ensemble seed vector.
+
+        The sharded-dispatch RNG contract: shard ``k`` covering the
+        half-open slice ``bounds[k] = (lo, hi)`` of the ordered seed vector
+        draws from ``batch_generator_for(seeds[lo:hi])`` — each shard is
+        its own batch, keyed by its slice alone.  Consequences:
+
+        * results are **bit-reproducible given the shard layout** and
+          independent of the executor that runs the shards (workers rebuild
+          the same stream from the same slice),
+        * a single shard covering everything reproduces
+          :meth:`batch_simulation_generator` exactly (the serial fast
+          path), and
+        * different layouts re-key every stream, so results across shard
+          sizes agree in distribution only — the same relaxation as scalar
+          vs batched.
+
+        ``bounds`` is typically :func:`repro.hpc.partition.shard_bounds`
+        output.  Worker processes rebuild the identical streams by calling
+        :func:`batch_generator_for` on their task's seed slice
+        (:func:`repro.hpc.sharding.run_shard`); this method is the
+        parent-side contract surface, and the seeding tests pin the two
+        against each other so they cannot silently diverge.
+        """
+        seeds_arr = np.asarray(seeds, dtype=np.int64)
+        return [batch_generator_for(seeds_arr[lo:hi]) for lo, hi in bounds]
 
     def window_restart_seed(self, original_seed: int, window_index: int,
                             particle_index: int) -> int:

@@ -116,19 +116,23 @@ class TestBatchedRunBehaviour:
         assert np.array_equal(r1[0].posterior.values("rho"),
                               r2[0].posterior.values("rho"))
 
-    def test_executor_bypassed(self, small_truth):
+    def test_serial_executor_gets_one_shard_per_window(self, small_truth):
+        """Auto shard policy on a serial executor: one whole-group shard
+        task per window, never one task per particle."""
         class SpyExecutor(SerialExecutor):
-            calls = 0
+            task_counts = []
 
             def map(self, fn, tasks):
-                SpyExecutor.calls += 1
+                tasks = list(tasks)
+                SpyExecutor.task_counts.append(len(tasks))
                 return super().map(fn, tasks)
 
-        schedule = WindowSchedule.from_breaks([10, 20])
+        schedule = WindowSchedule.from_breaks([10, 20, 30])
         spy = SpyExecutor()
         calibrator(schedule, small_truth, "binomial_leap_batched",
                    executor=spy).run(small_truth.observations())
-        assert SpyExecutor.calls == 0
+        # Two windows (first + one continuation), one structural group each.
+        assert SpyExecutor.task_counts == [1, 1]
 
     def test_burn_in_start_honoured_by_both_paths(self, small_truth):
         """Scalar and batched first windows must share the burn-in clock."""

@@ -85,3 +85,50 @@ class TestLptPartition:
             lpt_partition(np.array([[1.0]]), 2)
         with pytest.raises(ValueError):
             lpt_partition(np.array([-1.0]), 2)
+
+
+class TestShardBounds:
+    def test_default_single_shard(self):
+        from repro.hpc import shard_bounds
+        assert shard_bounds(10) == [(0, 10)]
+
+    def test_n_shards_even_chunking(self):
+        from repro.hpc import shard_bounds
+        assert shard_bounds(10, n_shards=4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_no_empty_shards_when_overpartitioned(self):
+        """n_particles < n_shards clamps the part count: no empty shards."""
+        from repro.hpc import shard_bounds
+        bounds = shard_bounds(3, n_shards=8)
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+        assert all(hi > lo for lo, hi in bounds)
+
+    def test_shard_size_caps_every_shard(self):
+        from repro.hpc import shard_bounds
+        for n in (1, 5, 11, 12, 13, 100):
+            bounds = shard_bounds(n, shard_size=4)
+            sizes = [hi - lo for lo, hi in bounds]
+            assert all(1 <= s <= 4 for s in sizes)
+            assert sum(sizes) == n
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_bounds_cover_contiguously(self):
+        from repro.hpc import shard_bounds
+        bounds = shard_bounds(17, n_shards=5)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 17
+        assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+
+    def test_zero_items_no_shards(self):
+        from repro.hpc import shard_bounds
+        assert shard_bounds(0, n_shards=3) == []
+
+    def test_validation(self):
+        from repro.hpc import shard_bounds
+        with pytest.raises(ValueError):
+            shard_bounds(5, shard_size=2, n_shards=2)
+        with pytest.raises(ValueError):
+            shard_bounds(5, shard_size=0)
+        with pytest.raises(ValueError):
+            shard_bounds(5, n_shards=0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1)

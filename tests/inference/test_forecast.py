@@ -76,3 +76,155 @@ class TestForecast:
         bare = ParticleEnsemble([Particle(params={"theta": 0.3}, seed=1)])
         with pytest.raises(ValueError, match="checkpoint"):
             forecast_from_posterior(bare, 5)
+
+    def test_path_validation(self, posterior):
+        with pytest.raises(ValueError, match="path"):
+            forecast_from_posterior(posterior, 5, path="warp")
+
+
+class TestShardedBatchedForecast:
+    """The batched forecast path: sharded whole-cloud restarts."""
+
+    def test_no_per_particle_dispatch(self, posterior):
+        """Acceptance: no longer one scalar task per particle — the serial
+        auto policy submits a single whole-cloud shard."""
+        from repro.hpc import SerialExecutor
+
+        class SpyExecutor(SerialExecutor):
+            task_counts = []
+
+            def map(self, fn, tasks):
+                tasks = list(tasks)
+                SpyExecutor.task_counts.append(len(tasks))
+                return super().map(fn, tasks)
+
+        fc = forecast_from_posterior(posterior, horizon_days=6,
+                                     executor=SpyExecutor())
+        assert len(fc) == len(posterior) == 20
+        assert SpyExecutor.task_counts == [1]
+
+    def test_batched_is_the_auto_path(self, posterior):
+        """Calibrator checkpoints are leap-format, so auto == batched."""
+        import numpy as np
+        auto = forecast_from_posterior(posterior, 6, base_seed=3)
+        batched = forecast_from_posterior(posterior, 6, base_seed=3,
+                                          path="batched")
+        for a, b in zip(auto.trajectories, batched.trajectories):
+            assert np.array_equal(a.infections, b.infections)
+
+    def test_scalar_batched_distributional_parity(self, posterior):
+        """Acceptance: batched forecast overlaps the scalar oracle's
+        credible intervals (paths share seeds but not draw order)."""
+        import numpy as np
+        scalar = forecast_from_posterior(posterior, 10, base_seed=3,
+                                         path="scalar", n_per_particle=3)
+        batched = forecast_from_posterior(posterior, 10, base_seed=3,
+                                          path="batched", n_per_particle=3)
+        for channel in ("cases", "deaths"):
+            rib_s = scalar.ribbon(channel, quantiles=(0.05, 0.5, 0.95))
+            rib_b = batched.ribbon(channel, quantiles=(0.05, 0.5, 0.95))
+            lo_s, hi_s = rib_s.band(0.05), rib_s.band(0.95)
+            lo_b, hi_b = rib_b.band(0.05), rib_b.band(0.95)
+            overlap = (lo_b <= hi_s) & (lo_s <= hi_b)
+            assert overlap.all(), f"{channel}: disjoint forecast bands"
+            # Medians track each other within the ensemble spread.
+            med_gap = np.abs(rib_s.band(0.5) - rib_b.band(0.5))
+            spread = np.maximum(hi_s - lo_s, 1.0)
+            assert (med_gap <= spread).all()
+
+    def test_bit_identical_across_executors_for_fixed_layout(self, posterior):
+        import numpy as np
+        from repro.hpc import ProcessExecutor, SerialExecutor
+        serial = forecast_from_posterior(posterior, 6, base_seed=5,
+                                         shard_size=7,
+                                         executor=SerialExecutor())
+        with ProcessExecutor(max_workers=2) as pool:
+            pooled = forecast_from_posterior(posterior, 6, base_seed=5,
+                                             shard_size=7, executor=pool)
+        for a, b in zip(serial.trajectories, pooled.trajectories):
+            assert np.array_equal(a.infections, b.infections)
+            assert np.array_equal(a.deaths, b.deaths)
+
+    def test_shard_layout_only_rekeys_streams(self, posterior):
+        """Different layouts give different bits but the same start/shape."""
+        import numpy as np
+        one = forecast_from_posterior(posterior, 6, base_seed=5, n_shards=1)
+        many = forecast_from_posterior(posterior, 6, base_seed=5,
+                                       shard_size=3)
+        assert len(one) == len(many)
+        assert any(not np.array_equal(a.infections, b.infections)
+                   for a, b in zip(one.trajectories, many.trajectories))
+
+    def test_shard_knob_validation(self, posterior):
+        with pytest.raises(ValueError, match="not both"):
+            forecast_from_posterior(posterior, 5, shard_size=4, n_shards=2)
+        with pytest.raises(ValueError, match="n_shards"):
+            forecast_from_posterior(posterior, 5, n_shards="3")
+        with pytest.raises(ValueError, match="shard_size"):
+            forecast_from_posterior(posterior, 5, shard_size=0)
+
+    def test_explicit_batched_rejects_schedule_checkpoints(self):
+        """A transmission schedule cannot ride the batched restart; the
+        explicit path refuses instead of silently dropping it."""
+        from repro.core import Particle, ParticleEnsemble
+        from repro.data import PiecewiseConstant
+        from repro.seir import DiseaseParameters, StochasticSEIRModel
+
+        params = DiseaseParameters(population=3000, initial_exposed=20)
+        schedule = PiecewiseConstant.constant(0.25)
+        particles = []
+        for seed in (1, 2):
+            model = StochasticSEIRModel(params, seed,
+                                        theta_schedule=schedule)
+            model.run_until(5)
+            particles.append(Particle(params={"theta": 0.3, "rho": 0.7},
+                                      seed=seed,
+                                      checkpoint=model.checkpoint()))
+        posterior = ParticleEnsemble(particles)
+        with pytest.raises(ValueError, match="transmission schedule"):
+            forecast_from_posterior(posterior, 4, path="batched")
+        # auto falls back to the scalar path, which honours the schedule.
+        fc = forecast_from_posterior(posterior, 4)
+        assert len(fc) == 2
+
+    def test_auto_falls_back_to_scalar_for_mixed_day_checkpoints(self):
+        """Checkpoints at different days can't share a batch clock; auto
+        must keep forecasting them via the scalar path."""
+        from repro.core import Particle, ParticleEnsemble
+        from repro.seir import DiseaseParameters, StochasticSEIRModel
+
+        params = DiseaseParameters(population=3000, initial_exposed=20)
+        particles = []
+        for seed, day in ((1, 5), (2, 7)):
+            model = StochasticSEIRModel(params, seed)
+            model.run_until(day)
+            particles.append(Particle(params={"theta": 0.3, "rho": 0.7},
+                                      seed=seed,
+                                      checkpoint=model.checkpoint()))
+        posterior = ParticleEnsemble(particles)
+        fc = forecast_from_posterior(posterior, horizon_days=4)
+        assert len(fc) == 2
+        with pytest.raises(ValueError, match="sharing one day"):
+            forecast_from_posterior(posterior, 4, path="batched")
+
+    def test_auto_falls_back_to_scalar_for_non_leap_checkpoints(self):
+        """Non-leap checkpoints (e.g. event-driven) still forecast."""
+        import numpy as np
+        from repro.core import Particle, ParticleEnsemble
+        from repro.seir import DiseaseParameters, StochasticSEIRModel
+
+        params = DiseaseParameters(population=3000, initial_exposed=20)
+        particles = []
+        for seed in (1, 2, 3):
+            model = StochasticSEIRModel(params, seed, engine="event_driven")
+            model.run_until(5)
+            particles.append(Particle(params={"theta": 0.3, "rho": 0.7},
+                                      seed=seed,
+                                      checkpoint=model.checkpoint()))
+        posterior = ParticleEnsemble(particles)
+        fc = forecast_from_posterior(posterior, horizon_days=4)
+        assert len(fc) == 3
+        assert fc.start_day == 5
+        for traj in fc.trajectories:
+            assert len(traj) == 4
+            assert np.all(np.isfinite(traj.infections))
