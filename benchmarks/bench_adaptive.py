@@ -1,0 +1,171 @@
+"""Adaptive ensemble sizing: posterior quality per particle-step.
+
+Measures the ROADMAP's "adaptive ensemble sizing" claim on the synthetic
+ground-truth scenario: an :class:`~repro.core.ensemble_control.ESSTargetPolicy`
+run must reach **posterior CI coverage of the truth at least equal to the
+fixed-size baseline while spending at most 70% of its total particle-steps**
+(particle-days summed over every window, burn-in included).
+
+Unlike the throughput benches, the headline numbers here are *deterministic*:
+both runs are serial and fully seeded, so the recorded ``speedup`` (the
+fixed/adaptive particle-step ratio) is a pure function of the configuration,
+not of the host.  ``benchmarks/check_trend.py`` gates it in CI like every
+other ``speedup`` entry; wall-clock times are recorded for context only.
+
+Emits ``BENCH_adaptive.json``.  Run standalone
+(``python benchmarks/bench_adaptive.py``) or under pytest-benchmark
+(``pytest benchmarks/bench_adaptive.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from _bench_util import time_best, write_payload
+from repro.data import PiecewiseConstant
+from repro.inference import CalibrationConfig, calibrate
+from repro.seir import DiseaseParameters
+from repro.sim import make_ground_truth
+
+DEFAULT_BREAKS = (12, 20, 28, 36, 44, 52)
+DEFAULT_POLICY = {"target_low": 0.05, "target_high": 0.2,
+                  "n_min": 100, "n_max": 1600}
+TARGET = {"max_step_fraction": 0.7, "min_coverage_delta": 0}
+
+
+def make_scenario(population: int, seed: int, horizon: int):
+    """Town-scale synthetic truth with time-varying theta and rho."""
+    params = DiseaseParameters(population=population,
+                               initial_exposed=max(1, population // 500))
+    return make_ground_truth(
+        params=params, horizon=horizon, seed=seed,
+        theta_schedule=PiecewiseConstant(breakpoints=(20, 36),
+                                         values=(0.32, 0.22, 0.28)),
+        rho_schedule=PiecewiseConstant(breakpoints=(20, 36),
+                                       values=(0.6, 0.85, 0.8)))
+
+
+def truth_coverage(result, truth) -> dict:
+    """How many per-window 90% CIs contain the known truth values."""
+    covered, total = 0, 0
+    for name in ("theta", "rho"):
+        track = result.parameter_track(name)
+        for w, wr in enumerate(result.windows):
+            value = truth.truth_point(wr.window.end_day - 1)[name]
+            covered += int(track.covers(w, value, "ci90"))
+            total += 1
+    return {"covered": covered, "total": total,
+            "fraction": covered / total}
+
+
+def summarize(result, truth, wall_seconds: float) -> dict:
+    return {
+        "ensemble_sizes": result.ensemble_sizes().tolist(),
+        "total_particle_steps": result.total_particle_steps(),
+        "ess_fractions": np.round(result.ess_fractions(), 4).tolist(),
+        "coverage_ci90": truth_coverage(result, truth),
+        "wall_seconds": wall_seconds,
+    }
+
+
+def run_adaptive_bench(draws: int = 200, replicates: int = 2,
+                       resample: int = 400, seed: int = 41,
+                       population: int = 60_000,
+                       breaks=DEFAULT_BREAKS, sigma: float = 2.0,
+                       policy: dict | None = None,
+                       repeats: int = 1) -> dict:
+    """Fixed-size baseline vs ESS-target adaptive run; returns the payload."""
+    policy = dict(DEFAULT_POLICY if policy is None else policy)
+    truth = make_scenario(population, seed=99, horizon=max(breaks))
+    obs = truth.observations()
+    base = dict(window_breaks=tuple(breaks), n_parameter_draws=draws,
+                n_replicates=replicates, resample_size=resample,
+                base_seed=seed, sigma=sigma)
+
+    fixed_s, fixed = time_best(
+        lambda: calibrate(obs, CalibrationConfig(**base),
+                          base_params=truth.params), repeats)
+    adaptive_s, adaptive = time_best(
+        lambda: calibrate(obs, CalibrationConfig(
+            **base, size_policy="ess", size_policy_options=policy),
+            base_params=truth.params), repeats)
+
+    fixed_steps = fixed.total_particle_steps()
+    adaptive_steps = adaptive.total_particle_steps()
+    return {
+        "benchmark": "adaptive_ensemble_sizing",
+        "scenario": {"population": population, "window_breaks": list(breaks),
+                     "n_parameter_draws": draws, "n_replicates": replicates,
+                     "resample_size": resample, "sigma": sigma,
+                     "base_seed": seed, "truth_seed": 99},
+        "policy": {"name": "ess", **policy},
+        "fixed": summarize(fixed, truth, fixed_s),
+        "adaptive": summarize(adaptive, truth, adaptive_s),
+        "particle_step_fraction": adaptive_steps / fixed_steps,
+        # fixed/adaptive particle-step ratio: the CI-gated headline number
+        # (deterministic — both runs are serial and fully seeded)
+        "speedup": fixed_steps / adaptive_steps,
+        "target": dict(TARGET),
+    }
+
+
+def check_targets(payload: dict) -> None:
+    """Assert the acceptance targets recorded in the payload."""
+    fraction = payload["particle_step_fraction"]
+    assert fraction <= payload["target"]["max_step_fraction"], (
+        f"adaptive run spent {fraction:.2%} of the fixed baseline's "
+        f"particle-steps (target <= {payload['target']['max_step_fraction']:.0%})")
+    delta = (payload["adaptive"]["coverage_ci90"]["covered"]
+             - payload["fixed"]["coverage_ci90"]["covered"])
+    assert delta >= payload["target"]["min_coverage_delta"], (
+        f"adaptive coverage {payload['adaptive']['coverage_ci90']} fell "
+        f"below the fixed baseline's {payload['fixed']['coverage_ci90']}")
+
+
+def test_adaptive_sizing_efficiency(benchmark, output_dir):
+    """pytest-benchmark entry point; asserts the coverage/steps targets."""
+    from _bench_util import once
+
+    payload = once(benchmark, run_adaptive_bench)
+    write_payload(payload, output_dir / "BENCH_adaptive.json")
+    print("\nAdaptive sizing bench:", json.dumps(payload, indent=2))
+    check_targets(payload)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--draws", type=int, default=200)
+    parser.add_argument("--replicates", type=int, default=2)
+    parser.add_argument("--resample", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument("--population", type=int, default=60_000)
+    parser.add_argument("--sigma", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--output", type=Path,
+                        default=Path("BENCH_adaptive.json"))
+    args = parser.parse_args(argv)
+    payload = run_adaptive_bench(draws=args.draws, replicates=args.replicates,
+                                 resample=args.resample, seed=args.seed,
+                                 population=args.population, sigma=args.sigma,
+                                 repeats=args.repeats)
+    write_payload(payload, args.output)
+    for tag in ("fixed", "adaptive"):
+        s = payload[tag]
+        cov = s["coverage_ci90"]
+        print(f"{tag:>8}: sizes {s['ensemble_sizes']} | "
+              f"{s['total_particle_steps']} particle-steps | "
+              f"CI90 coverage {cov['covered']}/{cov['total']} | "
+              f"{s['wall_seconds']:.2f}s")
+    print(f"particle-step fraction {payload['particle_step_fraction']:.2f} "
+          f"(target <= {payload['target']['max_step_fraction']}), "
+          f"step-ratio speedup {payload['speedup']:.2f}x")
+    check_targets(payload)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

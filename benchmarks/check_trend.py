@@ -37,15 +37,40 @@ def extract_speedups(payload: dict, prefix: str = "") -> dict[str, float]:
     for key, value in payload.items():
         path = f"{prefix}.{key}" if prefix else str(key)
         if key == "speedup" and isinstance(value, (int, float)):
-            out[prefix] = float(value)
+            out[prefix or "(top-level)"] = float(value)
         elif isinstance(value, dict):
             out.update(extract_speedups(value, path))
     return out
 
 
+def warn_cpu_mismatch(baseline: dict, fresh: dict) -> str | None:
+    """Warn when baseline and fresh runs came from different core counts.
+
+    Multi-core speedups (e.g. the sharded-dispatch entries) are only
+    comparable between hosts with similar parallelism: a baseline produced
+    on a 1-core container sits near 1x, so comparing it against a 4-core CI
+    run silently turns the ratio guard into a no-op (and the reverse makes
+    it impossibly strict).  Payloads that record ``cpu_count`` (e.g.
+    ``bench_sharding.py``) get a loud warning on mismatch; the comparison
+    still runs — regenerating the committed baseline on matching hardware
+    is the real fix (see the ROADMAP's multi-core baseline item).
+    """
+    base_cpu = baseline.get("cpu_count")
+    fresh_cpu = fresh.get("cpu_count")
+    if base_cpu is None or fresh_cpu is None or base_cpu == fresh_cpu:
+        return None
+    return (f"cpu_count mismatch: baseline was produced on {base_cpu} "
+            f"core(s) but the fresh run used {fresh_cpu} — multi-core "
+            "speedup entries are not comparable across this gap; "
+            "regenerate the committed baseline on matching hardware")
+
+
 def check_trend(baseline: dict, fresh: dict, min_fraction: float,
                 floor: float) -> list[str]:
     """Return a list of human-readable failures (empty = pass)."""
+    warning = warn_cpu_mismatch(baseline, fresh)
+    if warning is not None:
+        print(f"  WARNING: {warning}", file=sys.stderr)
     base_speedups = extract_speedups(baseline)
     fresh_speedups = extract_speedups(fresh)
     if not fresh_speedups:

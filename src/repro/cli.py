@@ -67,9 +67,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="common-seed replicates per draw (paper: 20)")
         p.add_argument("--resample", type=int, default=1000,
                        help="posterior sample size (paper: 10000)")
+        if name != "fig3":  # sequential commands can adapt the cloud size
+            p.add_argument("--size-policy", choices=("fixed", "ess", "budget"),
+                           default="fixed",
+                           help="adaptive ensemble-size policy between "
+                                "windows (default: fixed size)")
+            p.add_argument("--ess-low", type=float, default=0.1,
+                           help="ess policy: grow the cloud below this ESS "
+                                "fraction")
+            p.add_argument("--ess-high", type=float, default=0.5,
+                           help="ess policy: shrink the cloud above this "
+                                "ESS fraction")
+            p.add_argument("--size-min", type=int, default=50,
+                           help="smallest cloud a policy may propose")
+            p.add_argument("--size-max", type=int, default=100_000,
+                           help="largest cloud a policy may propose")
+            p.add_argument("--step-budget", type=int, default=None,
+                           help="budget policy: particle-steps "
+                                "(particle-days) allowed per window")
         if name == "forecast":
             p.add_argument("--horizon-days", type=int, default=14)
     return parser
+
+
+def _size_policy_options(args) -> dict:
+    """Translate CLI knobs into the selected policy's constructor options."""
+    if args.size_policy == "ess":
+        return {"target_low": args.ess_low, "target_high": args.ess_high,
+                "n_min": args.size_min, "n_max": args.size_max}
+    if args.size_policy == "budget":
+        if args.step_budget is None:
+            raise SystemExit("--size-policy budget requires --step-budget")
+        return {"step_budget": args.step_budget, "n_min": args.size_min,
+                "n_max": args.size_max}
+    return {}
 
 
 def _cmd_fig2(args) -> int:
@@ -113,13 +144,18 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
         n_parameter_draws=args.draws, n_replicates=args.replicates,
         resample_size=args.resample, theta_jitter_width=0.16,
         rho_jitter_width=0.04, n_continuations=2, base_seed=args.seed,
-        executor=args.executor, max_workers=args.workers)
+        executor=args.executor, max_workers=args.workers,
+        size_policy=args.size_policy,
+        size_policy_options=_size_policy_options(args))
     result = calibrate(truth.observations(include_deaths=include_deaths),
                        cfg, verbose=True)
     args.out.mkdir(parents=True, exist_ok=True)
     result.save_summary(args.out / f"{label}_summary.json")
     print()
     print(result.describe())
+    sizes = ", ".join(str(int(n)) for n in result.ensemble_sizes())
+    print(f"  per-window cloud sizes: {sizes} "
+          f"({result.total_particle_steps()} particle-steps)")
     print(f"\nwrote {args.out / (label + '_summary.json')}")
     return 0
 
@@ -130,7 +166,8 @@ def _cmd_forecast(args) -> int:
         window_breaks=(20, 34, 48), n_parameter_draws=args.draws,
         n_replicates=args.replicates, resample_size=args.resample,
         base_seed=args.seed, executor=args.executor,
-        max_workers=args.workers)
+        max_workers=args.workers, size_policy=args.size_policy,
+        size_policy_options=_size_policy_options(args))
     result = calibrate(truth.observations(include_deaths=True), cfg,
                        verbose=True)
     forecast = forecast_from_posterior(result.final_posterior,

@@ -5,6 +5,9 @@ from .adaptive import (TemperedResult, adaptive_jitter_width,
                        tempered_weight_schedule)
 from .bias import BinomialBiasModel
 from .diagnostics import WindowDiagnostics, assess, compute_diagnostics
+from .ensemble_control import (SIZE_POLICY_NAMES, BudgetPolicy,
+                               EnsembleSizePolicy, ESSTargetPolicy, FixedSize,
+                               make_size_policy, resolve_size_policy)
 from .likelihood import (GaussianTransformLikelihood, Likelihood,
                          MultiSourceLikelihood, NegativeBinomialLikelihood,
                          PoissonLikelihood, paper_likelihood)
@@ -37,6 +40,8 @@ __all__ = [
     "adaptive_jitter_width", "ess_triggered_resample",
     "SMCConfig", "WindowResult", "SequentialCalibrator",
     "BIAS_PARAM", "DEFAULT_PARAM_MAP",
+    "EnsembleSizePolicy", "FixedSize", "ESSTargetPolicy", "BudgetPolicy",
+    "SIZE_POLICY_NAMES", "make_size_policy", "resolve_size_policy",
     "Particle", "ParticleEnsemble",
     "Distribution", "Uniform", "Beta", "LogNormal", "TruncatedNormal",
     "Dirac", "IndependentProduct", "paper_first_window_prior",

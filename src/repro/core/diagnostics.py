@@ -46,6 +46,11 @@ class WindowDiagnostics:
     log_evidence:
         Log of the window's average unnormalised weight — an estimate of the
         incremental marginal likelihood ``log p(y_window | y_past)``.
+    particle_steps:
+        Simulation cost of producing this window's cloud, in particle-days
+        (ensemble size times days simulated, including burn-in for the
+        first window).  The adaptive ensemble-size policies trade this
+        against ESS; 0 when the producer did not record it.
     """
 
     n_particles: int
@@ -56,6 +61,7 @@ class WindowDiagnostics:
     max_weight: float
     unique_ancestors: int
     log_evidence: float
+    particle_steps: int = 0
 
     @property
     def degenerate(self) -> bool:
@@ -72,6 +78,7 @@ class WindowDiagnostics:
             "max_weight": self.max_weight,
             "unique_ancestors": self.unique_ancestors,
             "log_evidence": self.log_evidence,
+            "particle_steps": self.particle_steps,
         }
 
     @classmethod
@@ -82,11 +89,13 @@ class WindowDiagnostics:
                    entropy_fraction=float(d["entropy_fraction"]),
                    max_weight=float(d["max_weight"]),
                    unique_ancestors=int(d["unique_ancestors"]),
-                   log_evidence=float(d["log_evidence"]))
+                   log_evidence=float(d["log_evidence"]),
+                   particle_steps=int(d.get("particle_steps", 0)))
 
 
 def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
-                        unique_ancestors: int) -> WindowDiagnostics:
+                        unique_ancestors: int, *,
+                        particle_steps: int = 0) -> WindowDiagnostics:
     """Assemble diagnostics from a window's weight vectors."""
     lw = np.asarray(log_weights, dtype=np.float64)
     w = np.asarray(normalized, dtype=np.float64)
@@ -110,6 +119,7 @@ def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
         max_weight=float(np.max(w)),
         unique_ancestors=int(unique_ancestors),
         log_evidence=float(log_evidence),
+        particle_steps=int(particle_steps),
     )
 
 

@@ -45,6 +45,19 @@ structural parameters differ (anything beyond the transmission rate, e.g. a
 ``param_map`` targeting ``mild_fraction``) are grouped by structural
 identity and each group is stepped as its own batch.
 
+The ensemble size itself can adapt between windows
+(``SMCConfig.size_policy``): after each window's weighting, an
+:class:`~repro.core.ensemble_control.EnsembleSizePolicy` maps the window's
+diagnostics to the *next* window's proposal count — growing the cloud when
+the ESS collapses, shrinking it when the posterior has converged.  Proposals
+flow through the same machinery at any size: parents are taken by cycling
+through the resampled posterior (draw ``i`` descends from parent ``i mod
+resample_size``, the exact order the fixed ``n_continuations`` replication
+produces), every draw's restart seed is keyed by ``(window, draw_index)``
+(:meth:`~repro.seir.seeding.SeedSequenceBank.window_draw_seed` — stable
+under size changes, unlike position-keyed seeds), and the shard layout is
+recomputed per window from whatever size arrives.
+
 Batched simulation is *sharded* across the executor
 (:mod:`repro.hpc.sharding`): each structural group is split into
 contiguous, evenly chunked sub-batches (``SMCConfig.shard_size`` /
@@ -84,6 +97,7 @@ from ..seir.outputs import Trajectory
 from ..seir.parameters import DiseaseParameters, ParameterOverride
 from ..seir.seeding import SeedSequenceBank
 from .diagnostics import WindowDiagnostics, compute_diagnostics
+from .ensemble_control import EnsembleSizePolicy, resolve_size_policy
 from .observation import ObservationModel
 from .particle import Particle, ParticleEnsemble
 from .priors import IndependentProduct
@@ -128,6 +142,24 @@ class SMCConfig:
     shard; wins over ``n_shards``) or integer ``n_shards`` pins the layout,
     making results bit-reproducible across executors (see
     :mod:`repro.hpc.sharding`).  Scalar engines ignore both knobs.
+
+    ``size_policy`` selects the adaptive ensemble-size controller consulted
+    after every window (:mod:`repro.core.ensemble_control`): ``"fixed"``
+    (the default — every continuation window proposes
+    ``resample_size * n_continuations`` draws, the classic behaviour),
+    ``"ess"`` (:class:`~repro.core.ensemble_control.ESSTargetPolicy`: grow
+    the cloud when the post-weighting ESS fraction falls below its target
+    band, shrink it when the band is exceeded, clamped to
+    ``[n_min, n_max]``), ``"budget"``
+    (:class:`~repro.core.ensemble_control.BudgetPolicy`: cap the cloud at a
+    per-window particle-step budget), or any object implementing
+    :class:`~repro.core.ensemble_control.EnsembleSizePolicy`.
+    ``size_policy_options`` are the named policy's constructor keywords
+    (e.g. ``{"target_high": 0.4, "n_min": 100}``).  Policies are
+    deterministic, so adaptive runs remain bit-reproducible for a fixed
+    ``(base_seed, size_policy, shard layout)`` and identical across
+    executors; the first window always uses
+    ``n_parameter_draws * n_replicates`` prior draws.
     """
 
     n_parameter_draws: int = 500
@@ -142,12 +174,15 @@ class SMCConfig:
     base_seed: int = 20240215
     keep_weighted_ensemble: bool = False
     weighting: str = "batched"
+    size_policy: str | EnsembleSizePolicy = "fixed"
+    size_policy_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name in ("n_parameter_draws", "n_replicates", "resample_size",
                      "n_continuations"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        resolve_size_policy(self.size_policy, self.size_policy_options)
         if self.weighting not in ("batched", "scalar"):
             raise ValueError(
                 f"weighting must be 'batched' or 'scalar', got {self.weighting!r}")
@@ -163,6 +198,10 @@ class SMCConfig:
     def uses_batched_simulation(self) -> bool:
         """True when ``engine`` names a whole-ensemble (batched) engine."""
         return self.engine in BATCH_ENGINE_NAMES
+
+    def size_policy_instance(self) -> EnsembleSizePolicy:
+        """The configured ensemble-size controller, ready to consult."""
+        return resolve_size_policy(self.size_policy, self.size_policy_options)
 
     @property
     def first_window_ensemble_size(self) -> int:
@@ -201,7 +240,9 @@ class WindowResult:
     def summary(self) -> dict:
         """Posterior parameter summary used by benches and examples."""
         out: dict = {"window": self.window.label(),
-                     "ess_fraction": self.diagnostics.ess_fraction}
+                     "ess_fraction": self.diagnostics.ess_fraction,
+                     "n_particles": self.diagnostics.n_particles,
+                     "particle_steps": self.diagnostics.particle_steps}
         for name in self.posterior.param_names:
             lo50, hi50 = self.posterior.credible_interval(name, 0.5)
             lo90, hi90 = self.posterior.credible_interval(name, 0.9)
@@ -303,6 +344,7 @@ class SequentialCalibrator:
         self.param_map = dict(param_map or DEFAULT_PARAM_MAP)
         self._progress = progress or (lambda _msg: None)
         self._bank = SeedSequenceBank(self.config.base_seed)
+        self._size_policy = self.config.size_policy_instance()
         self._validate()
 
     def _validate(self) -> None:
@@ -329,22 +371,49 @@ class SequentialCalibrator:
 
     # ------------------------------------------------------------------ #
     def run(self, observations: ObservationSet) -> list[WindowResult]:
-        """Calibrate every window in the schedule against ``observations``."""
+        """Calibrate every window in the schedule against ``observations``.
+
+        After each window, the configured size policy maps the window's
+        diagnostics to the next window's proposal count (the fixed policy
+        keeps ``continuation_ensemble_size`` throughout); the realised
+        per-window sizes are recorded in each result's diagnostics.
+        """
         self._check_coverage(observations)
         results: list[WindowResult] = []
         posterior: ParticleEnsemble | None = None
-        for index, window in enumerate(self.schedule):
+        windows = list(self.schedule)
+        planned = self.config.continuation_ensemble_size
+        for index, window in enumerate(windows):
             if index == 0:
                 ensemble = self._first_window_ensemble(window)
+                sim_days = window.end_day - self.schedule.burn_in_start
             else:
                 assert posterior is not None
-                ensemble = self._continuation_ensemble(window, index, posterior)
-            result = self._weigh_and_resample(index, window, ensemble, observations)
+                ensemble = self._continuation_ensemble(window, index, posterior,
+                                                       n_proposals=planned)
+                sim_days = window.n_days
+            result = self._weigh_and_resample(index, window, ensemble,
+                                              observations, sim_days=sim_days)
             posterior = result.posterior
             self._progress(
                 f"window {index} ({window.label()}): "
                 f"ESS {result.diagnostics.ess:.1f}/{result.diagnostics.n_particles}")
             results.append(result)
+            if index + 1 < len(windows):
+                proposed = int(self._size_policy.next_size(
+                    window_index=index, current_size=planned,
+                    diagnostics=result.diagnostics,
+                    next_window_days=windows[index + 1].n_days))
+                if proposed < 1:
+                    raise ValueError(
+                        f"size policy proposed a cloud of {proposed} "
+                        f"particles after window {index}")
+                if proposed != planned:
+                    self._progress(
+                        f"window {index}: size policy resized next cloud "
+                        f"{planned} -> {proposed} (ESS fraction "
+                        f"{result.diagnostics.ess_fraction:.2f})")
+                planned = proposed
         return results
 
     def _check_coverage(self, observations: ObservationSet) -> None:
@@ -455,23 +524,37 @@ class SequentialCalibrator:
         return ParticleEnsemble(particles)
 
     def _continuation_ensemble(self, window: TimeWindow, index: int,
-                               posterior: ParticleEnsemble) -> ParticleEnsemble:
+                               posterior: ParticleEnsemble,
+                               n_proposals: int | None = None,
+                               ) -> ParticleEnsemble:
+        """Propose and simulate the next window's cloud at any size.
+
+        ``n_proposals`` (default ``continuation_ensemble_size``) is the
+        size-policy output: draw ``i`` descends from parent ``i mod
+        len(posterior)`` — cycling through the resampled posterior, which
+        reproduces the classic ``n_continuations`` replication when the
+        size is a multiple of it, subsamples an exchangeable prefix when
+        shrinking, and revisits parents when growing.  Each draw's restart
+        seed is keyed by ``(window, draw_index)`` alone
+        (:meth:`~repro.seir.seeding.SeedSequenceBank.window_draw_seed`), so
+        the seed vector is prefix-stable under size changes.
+        """
         cfg = self.config
+        n = int(n_proposals) if n_proposals is not None \
+            else cfg.continuation_ensemble_size
+        if n < 1:
+            raise ValueError("n_proposals must be >= 1")
         rng_jitter = self._bank.ancillary_generator(_PURPOSE_JITTER,
                                                     window_index=index)
-        centers = {name: posterior.values(name) for name in self.prior.names}
+        parent_idx = np.arange(n) % len(posterior)
+        centers = {name: posterior.values(name)[parent_idx]
+                   for name in self.prior.names}
+        proposal = self.jitter.propose(centers, rng_jitter)
 
-        proposed_params: list[dict[str, float]] = []
-        seeds: list[int] = []
-        parents: list[Particle] = []
-        for c in range(cfg.n_continuations):
-            proposal = self.jitter.propose(centers, rng_jitter)
-            for j, parent in enumerate(posterior):
-                draw = {name: float(proposal[name][j]) for name in self.prior.names}
-                proposed_params.append(draw)
-                seeds.append(self._bank.window_restart_seed(
-                    parent.seed, index, j + c * len(posterior)))
-                parents.append(parent)
+        proposed_params = [{name: float(proposal[name][i])
+                            for name in self.prior.names} for i in range(n)]
+        seeds = [self._bank.window_draw_seed(index, i) for i in range(n)]
+        parents = [posterior[int(j)] for j in parent_idx]
         if cfg.uses_batched_simulation:
             self._progress(
                 f"window {index}: batch-restarting {len(parents)} "
@@ -576,8 +659,11 @@ class SequentialCalibrator:
 
     def _weigh_and_resample(self, index: int, window: TimeWindow,
                             ensemble: ParticleEnsemble,
-                            observations: ObservationSet) -> WindowResult:
+                            observations: ObservationSet,
+                            sim_days: int | None = None) -> WindowResult:
         cfg = self.config
+        if sim_days is None:
+            sim_days = window.n_days
         window_obs = observations.window(window.start_day, window.end_day)
         rng_bias = self._bank.ancillary_generator(_PURPOSE_BIAS,
                                                   window_index=index)
@@ -598,8 +684,9 @@ class SequentialCalibrator:
         indices = resampler(normalized, cfg.resample_size, rng_resample)
         posterior = weighted_ensemble.select(indices)
 
-        diagnostics = compute_diagnostics(log_weights, normalized,
-                                          posterior.unique_ancestors())
+        diagnostics = compute_diagnostics(
+            log_weights, normalized, posterior.unique_ancestors(),
+            particle_steps=len(ensemble) * int(sim_days))
         return WindowResult(
             index=index, window=window, posterior=posterior,
             diagnostics=diagnostics,

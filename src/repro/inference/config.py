@@ -61,6 +61,12 @@ class CalibrationConfig:
     #: (see repro.hpc.sharding).
     shard_size: int | None = None
     n_shards: int | str = "auto"
+    #: Adaptive ensemble-size controller: "fixed" (classic behaviour),
+    #: "ess" (grow/shrink on the post-weighting ESS fraction), or "budget"
+    #: (per-window particle-step cap); options are the policy's constructor
+    #: keywords (see repro.core.ensemble_control).
+    size_policy: str = "fixed"
+    size_policy_options: dict = field(default_factory=dict)
 
     executor: str = "serial"
     max_workers: int | None = None
@@ -106,6 +112,8 @@ class CalibrationConfig:
             n_shards=self.n_shards,
             base_seed=self.base_seed,
             keep_weighted_ensemble=self.keep_weighted_ensemble,
+            size_policy=self.size_policy,
+            size_policy_options=dict(self.size_policy_options),
         )
 
     def make_executor(self) -> Executor:

@@ -120,6 +120,25 @@ class CalibrationResult:
     def ess_fractions(self) -> np.ndarray:
         return np.array([wr.diagnostics.ess_fraction for wr in self.windows])
 
+    def ensemble_sizes(self) -> np.ndarray:
+        """Per-window weighted-cloud sizes — the size-policy trajectory.
+
+        Under the fixed policy this is ``[draws * replicates,
+        resample_size * n_continuations, ...]``; under an adaptive policy
+        it records every grow/shrink decision the run actually took.
+        """
+        return np.array([wr.diagnostics.n_particles for wr in self.windows],
+                        dtype=np.int64)
+
+    def total_particle_steps(self) -> int:
+        """Total simulation cost of the run in particle-days.
+
+        The budget the adaptive ensemble-size policies trade against
+        posterior quality; 0 when produced from diagnostics that predate
+        the accounting.
+        """
+        return int(sum(wr.diagnostics.particle_steps for wr in self.windows))
+
     def log_evidence(self) -> float:
         """Sum of per-window incremental log-evidence estimates."""
         return float(sum(wr.diagnostics.log_evidence for wr in self.windows))
@@ -132,6 +151,8 @@ class CalibrationResult:
             "windows": [wr.window.label() for wr in self.windows],
             "wall_time_seconds": self.wall_time_seconds,
             "log_evidence": self.log_evidence(),
+            "ensemble_sizes": self.ensemble_sizes().tolist(),
+            "total_particle_steps": self.total_particle_steps(),
             "diagnostics": [wr.diagnostics.to_dict() for wr in self.windows],
             "parameters": {name: self.parameter_track(name).to_dict()
                            for name in params},

@@ -28,6 +28,7 @@ __all__ = ["SeedSequenceBank", "generator_for", "batch_generator_for",
 _SIMULATION_STREAM = 0
 _ANCILLARY_STREAM = 1
 _BATCH_STREAM = 2
+_WINDOW_DRAW_STREAM = 3
 
 
 def generator_for(seed: int) -> np.random.Generator:
@@ -180,3 +181,21 @@ class SeedSequenceBank:
         duplicates of the same ancestor from evolving identically.
         """
         return mix_seed(self.base_seed, original_seed, window_index, particle_index)
+
+    def window_draw_seed(self, window_index: int, draw_index: int) -> int:
+        """Seed of proposal ``draw_index`` in window ``window_index``.
+
+        The adaptive-ensemble restart contract: a pure function of
+        ``(base_seed, window_index, draw_index)`` — *not* of the cloud's
+        size, the parent particle, or the draw's position inside any shard
+        layout.  Growing or shrinking the cloud between windows therefore
+        leaves the seeds of all surviving draw indices unchanged (the seed
+        vector of a larger cloud extends the smaller one as a prefix), and
+        resampled duplicates of one ancestor still diverge because their
+        draw indices differ.  The stream tag keeps these seeds disjoint
+        from :meth:`window_restart_seed` and every other bank stream.
+        """
+        if window_index < 0 or draw_index < 0:
+            raise ValueError("window_index and draw_index must be >= 0")
+        return mix_seed(self.base_seed, _WINDOW_DRAW_STREAM, window_index,
+                        draw_index)

@@ -49,6 +49,46 @@ class TestTemperingSchedule:
         with pytest.raises(ValueError):
             tempered_weight_schedule(np.array([]))
 
+    def test_max_stages_exhaustion_still_terminates_at_one(self):
+        """A pathological likelihood cannot keep the ESS above the floor at
+        any exponent; the schedule must exhaust its stage allowance and
+        force the final jump to 1.0 (the only stage allowed to violate the
+        floor) instead of looping forever."""
+        ll = np.full(200, -1e9)
+        ll[0] = 0.0  # a single totally dominant particle
+        schedule = tempered_weight_schedule(ll, ess_floor_fraction=0.9,
+                                            max_stages=3)
+        assert len(schedule) == 4  # max_stages tiny steps + the forced 1.0
+        assert schedule[-1] == 1.0
+        assert all(b2 > b1 for b1, b2 in zip(schedule, schedule[1:]))
+        # every stage before the forced jump made the guaranteed progress
+        assert all(b >= 1e-4 for b in schedule[:-1])
+
+    def test_all_equal_loglik_is_single_stage(self):
+        """Equal log-likelihoods mean uniform incremental weights at every
+        exponent — one stage, however extreme the common value."""
+        for value in (0.0, -3.0, -1e8, -1e308):
+            assert tempered_weight_schedule(np.full(64, value)) == [1.0]
+
+    def test_neg_inf_entries_tolerated(self):
+        """Particles with zero likelihood (log-lik -inf) must not poison the
+        bisection with NaNs; the survivors carry the schedule."""
+        ll = np.zeros(100)
+        ll[:30] = -np.inf  # 30% of the cloud missed the data entirely
+        schedule = tempered_weight_schedule(ll, ess_floor_fraction=0.5)
+        assert schedule == [1.0]  # 70 equally weighted survivors >= floor
+
+        ll = np.concatenate([np.full(50, -np.inf), -0.5 * np.linspace(0, 40, 150) ** 2])
+        schedule = tempered_weight_schedule(ll, ess_floor_fraction=0.6)
+        assert np.all(np.isfinite(schedule))
+        assert schedule[-1] == 1.0
+        assert all(b2 > b1 for b1, b2 in zip(schedule, schedule[1:]))
+
+    def test_all_neg_inf_raises_cleanly(self):
+        """A cloud with zero total weight is a hard failure, not a NaN."""
+        with pytest.raises(ValueError, match="zero weight"):
+            tempered_weight_schedule(np.full(10, -np.inf))
+
 
 class TestTemperAndResample:
     def test_indices_shape_and_range(self, rng):

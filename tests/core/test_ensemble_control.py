@@ -1,0 +1,235 @@
+"""Unit tests for the adaptive ensemble-size policies.
+
+Contract under test (see ``repro/core/ensemble_control.py``): policies are
+deterministic pure functions of the window diagnostics, clamp to
+``[n_min, n_max]``, hold inside the hysteresis band, and respond
+monotonically to the ESS fraction.  Calibrator-level wiring (sizes actually
+changing between windows) is covered here too at small scale; the
+cross-executor/shard invariance of adaptive runs lives in
+``test_sharded_simulation.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (BudgetPolicy, EnsembleSizePolicy, ESSTargetPolicy,
+                        FixedSize, SequentialCalibrator, SMCConfig,
+                        WindowSchedule, make_size_policy,
+                        paper_first_window_prior, paper_observation_model,
+                        paper_window_jitter, resolve_size_policy)
+from repro.core.diagnostics import compute_diagnostics
+from repro.core.weights import normalize_log_weights
+from repro.data import PiecewiseConstant
+from repro.seir import DiseaseParameters
+from repro.sim import make_ground_truth
+
+
+def diag_with_ess_fraction(fraction: float, n: int = 1000):
+    """Diagnostics whose ESS fraction is (approximately) ``fraction``.
+
+    Built from a two-level weight vector: ``k`` particles carry all the
+    mass, giving ESS ~= k, so ess_fraction ~= k / n.
+    """
+    k = max(1, int(round(fraction * n)))
+    lw = np.full(n, -1e9)
+    lw[:k] = 0.0
+    w = normalize_log_weights(lw)
+    d = compute_diagnostics(lw, w, unique_ancestors=k)
+    assert d.ess_fraction == pytest.approx(k / n, rel=1e-6)
+    return d
+
+
+def next_size(policy, fraction, current=1000, window_days=14):
+    return policy.next_size(window_index=0, current_size=current,
+                            diagnostics=diag_with_ess_fraction(fraction),
+                            next_window_days=window_days)
+
+
+class TestFixedSize:
+    def test_passes_current_size_through(self):
+        assert next_size(FixedSize(), 0.01) == 1000
+        assert next_size(FixedSize(), 0.99) == 1000
+
+    def test_explicit_size_pins(self):
+        assert next_size(FixedSize(size=250), 0.01) == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSize(size=0)
+
+
+class TestESSTargetPolicy:
+    def test_grows_below_band(self):
+        policy = ESSTargetPolicy(target_low=0.2, target_high=0.5,
+                                 growth_factor=2.0, n_min=10, n_max=10_000)
+        assert next_size(policy, 0.05) == 2000
+
+    def test_shrinks_above_band(self):
+        policy = ESSTargetPolicy(target_low=0.2, target_high=0.5,
+                                 shrink_factor=0.5, n_min=10, n_max=10_000)
+        assert next_size(policy, 0.8) == 500
+
+    def test_hysteresis_holds_inside_band(self):
+        policy = ESSTargetPolicy(target_low=0.2, target_high=0.5,
+                                 n_min=10, n_max=10_000)
+        for f in (0.25, 0.35, 0.45):
+            assert next_size(policy, f) == 1000
+
+    def test_clamped_to_bounds(self):
+        policy = ESSTargetPolicy(target_low=0.2, target_high=0.5,
+                                 growth_factor=4.0, shrink_factor=0.25,
+                                 n_min=800, n_max=1500)
+        assert next_size(policy, 0.01) == 1500   # 4000 clamped down
+        assert next_size(policy, 0.99) == 800    # 250 clamped up
+
+    def test_monotone_response_to_ess(self):
+        """Lower ESS never yields a smaller next cloud."""
+        policy = ESSTargetPolicy(target_low=0.15, target_high=0.6,
+                                 n_min=50, n_max=50_000)
+        fractions = np.linspace(0.01, 0.99, 25)
+        sizes = [next_size(policy, float(f)) for f in fractions]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ESSTargetPolicy(target_low=0.5, target_high=0.5)
+        with pytest.raises(ValueError):
+            ESSTargetPolicy(target_low=0.0, target_high=0.5)
+        with pytest.raises(ValueError):
+            ESSTargetPolicy(growth_factor=0.5)
+        with pytest.raises(ValueError):
+            ESSTargetPolicy(shrink_factor=0.0)
+        with pytest.raises(ValueError):
+            ESSTargetPolicy(n_min=100, n_max=50)
+
+
+class TestBudgetPolicy:
+    def test_caps_at_budget_over_window_days(self):
+        policy = BudgetPolicy(step_budget=7000, n_min=10)
+        assert next_size(policy, 0.5, current=1000, window_days=14) == 500
+
+    def test_budget_not_binding_keeps_base_size(self):
+        policy = BudgetPolicy(step_budget=1_000_000, n_min=10)
+        assert next_size(policy, 0.5, current=1000, window_days=14) == 1000
+
+    def test_floor_wins_over_budget(self):
+        policy = BudgetPolicy(step_budget=100, n_min=60)
+        assert next_size(policy, 0.5, current=1000, window_days=14) == 60
+
+    def test_composes_with_ess_base(self):
+        base = ESSTargetPolicy(target_low=0.2, target_high=0.5,
+                               growth_factor=4.0, n_min=10, n_max=100_000)
+        policy = BudgetPolicy(step_budget=28_000, base=base, n_min=10)
+        # ESS collapse wants 4000, the budget affords 28000/14 = 2000.
+        assert next_size(policy, 0.01, current=1000, window_days=14) == 2000
+
+    def test_n_max_caps_below_budget(self):
+        policy = BudgetPolicy(step_budget=1_000_000, n_min=10, n_max=300)
+        assert next_size(policy, 0.5, current=1000, window_days=14) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy(step_budget=0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(step_budget=10, n_min=0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(step_budget=10, n_min=50, n_max=20)
+
+
+class TestFactoryAndResolution:
+    def test_named_policies(self):
+        assert isinstance(make_size_policy("fixed"), FixedSize)
+        assert isinstance(make_size_policy("ess", target_high=0.4),
+                          ESSTargetPolicy)
+        assert isinstance(make_size_policy("budget", step_budget=100),
+                          BudgetPolicy)
+
+    def test_budget_base_spec_nested(self):
+        policy = make_size_policy("budget", step_budget=100,
+                                  base={"name": "ess", "target_high": 0.4})
+        assert isinstance(policy.base, ESSTargetPolicy)
+        assert policy.base.target_high == 0.4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown size policy"):
+            make_size_policy("bogus")
+
+    def test_resolve_accepts_instances(self):
+        policy = ESSTargetPolicy()
+        assert resolve_size_policy(policy) is policy
+        assert isinstance(policy, EnsembleSizePolicy)
+
+    def test_resolve_rejects_options_with_instance(self):
+        with pytest.raises(ValueError, match="size_policy_options"):
+            resolve_size_policy(ESSTargetPolicy(), {"n_min": 5})
+
+    def test_resolve_rejects_non_policy(self):
+        with pytest.raises(ValueError, match="EnsembleSizePolicy"):
+            resolve_size_policy(object())
+
+    def test_smc_config_validates_policy_eagerly(self):
+        with pytest.raises(ValueError):
+            SMCConfig(size_policy="bogus")
+        with pytest.raises(ValueError):
+            SMCConfig(size_policy="ess",
+                      size_policy_options={"target_low": 0.9,
+                                           "target_high": 0.5})
+        cfg = SMCConfig(size_policy="ess")
+        assert isinstance(cfg.size_policy_instance(), ESSTargetPolicy)
+
+
+class TestCalibratorWiring:
+    @pytest.fixture(scope="class")
+    def small_truth(self):
+        params = DiseaseParameters(population=50_000, initial_exposed=100)
+        return make_ground_truth(params=params, horizon=35, seed=555,
+                                 theta_schedule=PiecewiseConstant.constant(0.30),
+                                 rho_schedule=PiecewiseConstant.constant(0.7))
+
+    def run(self, truth, **config_kwargs):
+        calib = SequentialCalibrator(
+            base_params=truth.params,
+            prior=paper_first_window_prior(),
+            jitter=paper_window_jitter(),
+            observation_model=paper_observation_model(),
+            schedule=WindowSchedule.from_breaks([10, 18, 26, 34]),
+            config=SMCConfig(n_parameter_draws=30, n_replicates=2,
+                             resample_size=40, base_seed=17, **config_kwargs))
+        return calib.run(truth.observations())
+
+    def test_fixed_policy_matches_classic_sizes(self, small_truth):
+        results = self.run(small_truth)
+        sizes = [r.diagnostics.n_particles for r in results]
+        assert sizes == [60, 40, 40]
+
+    def test_pinned_policy_resizes_every_continuation(self, small_truth):
+        results = self.run(small_truth, size_policy=FixedSize(size=25))
+        sizes = [r.diagnostics.n_particles for r in results]
+        assert sizes == [60, 25, 25]
+        # posterior size is unchanged by the cloud size
+        assert all(len(r.posterior) == 40 for r in results)
+
+    def test_growth_revisits_parents_cyclically(self, small_truth):
+        results = self.run(small_truth, size_policy=FixedSize(size=100))
+        assert [r.diagnostics.n_particles for r in results] == [60, 100, 100]
+
+    def test_particle_steps_recorded(self, small_truth):
+        results = self.run(small_truth, size_policy=FixedSize(size=25))
+        # window 0 simulates burn-in 0..10 plus the window to day 10+8
+        assert results[0].diagnostics.particle_steps == 60 * 18
+        assert results[1].diagnostics.particle_steps == 25 * 8
+
+    def test_ess_policy_changes_sizes_deterministically(self, small_truth):
+        kwargs = dict(size_policy="ess",
+                      size_policy_options={"target_low": 0.3,
+                                           "target_high": 0.6,
+                                           "n_min": 20, "n_max": 120})
+        a = self.run(small_truth, **kwargs)
+        b = self.run(small_truth, **kwargs)
+        sizes_a = [r.diagnostics.n_particles for r in a]
+        sizes_b = [r.diagnostics.n_particles for r in b]
+        assert sizes_a == sizes_b
+        assert all(20 <= n <= 120 for n in sizes_a[1:])
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.posterior.values("theta"),
+                                  rb.posterior.values("theta"))

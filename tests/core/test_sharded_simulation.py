@@ -33,7 +33,7 @@ def small_truth():
 
 def run_calibration(truth, *, executor=None, engine="binomial_leap_batched",
                     shard_size=None, n_shards="auto", base_seed=17,
-                    breaks=(10, 20, 30)):
+                    breaks=(10, 20, 30), **config_kwargs):
     calib = SequentialCalibrator(
         base_params=truth.params,
         prior=paper_first_window_prior(),
@@ -43,7 +43,7 @@ def run_calibration(truth, *, executor=None, engine="binomial_leap_batched",
         config=SMCConfig(n_parameter_draws=40, n_replicates=2,
                          resample_size=60, base_seed=base_seed,
                          engine=engine, shard_size=shard_size,
-                         n_shards=n_shards),
+                         n_shards=n_shards, **config_kwargs),
         executor=executor)
     return calib.run(truth.observations())
 
@@ -184,6 +184,93 @@ class TestShardInvariance:
             t1 = runs["one_shard"][w].posterior.weighted_mean("theta")
             t2 = runs["many_shards"][w].posterior.weighted_mean("theta")
             assert t2 == pytest.approx(t1, abs=0.08)
+
+
+class TestAdaptiveSizeShardInvariance:
+    """Size changes and shard layouts must compose, not interfere.
+
+    Adaptive runs obey the same contract as fixed-size ones: bit-identical
+    for a fixed ``(base_seed, policy, shard layout)`` across executors
+    (the layout is recomputed per window from whatever size the policy
+    proposed), the same per-window size trajectory whatever the layout
+    (policies see ESS fractions, which layouts only perturb), and
+    distributional agreement across layouts.
+    """
+
+    #: A policy whose band edges sit far from the realised ESS fractions
+    #: (~0.08 and ~0.2 on this scenario), so every window shrinks the next
+    #: cloud and a layout re-keying the simulation streams cannot flip a
+    #: decision.
+    ADAPTIVE = dict(size_policy="ess",
+                    size_policy_options={"target_low": 0.01,
+                                         "target_high": 0.05,
+                                         "n_min": 24, "n_max": 200})
+
+    #: The trajectory a fixed-size run would produce (40 draws x 2
+    #: replicates, then resample_size per continuation window).
+    FIXED_SIZES = [80, 60]
+
+    @staticmethod
+    def sizes(results):
+        return [r.diagnostics.n_particles for r in results]
+
+    def test_adaptive_run_actually_resizes(self, small_truth):
+        """Every other test in this class is only meaningful if the policy
+        really changes the cloud size mid-run."""
+        results = run_calibration(small_truth, shard_size=16, **self.ADAPTIVE)
+        sizes = self.sizes(results)
+        assert len(sizes) == len(self.FIXED_SIZES)
+        assert sizes != self.FIXED_SIZES, \
+            "scenario no longer exercises a size change; re-tune the policy"
+        assert sizes[1] < self.FIXED_SIZES[1]  # the band forces a shrink
+
+    def test_adaptive_serial_vs_process_bit_identical(self, small_truth):
+        """Acceptance: adaptive runs are identical across executors for a
+        fixed (base_seed, policy, shard layout)."""
+        serial = run_calibration(small_truth, shard_size=16,
+                                 executor=SerialExecutor(), **self.ADAPTIVE)
+        with ProcessExecutor(max_workers=2) as pool:
+            pooled = run_calibration(small_truth, shard_size=16,
+                                     executor=pool, **self.ADAPTIVE)
+        assert self.sizes(serial) == self.sizes(pooled)
+        assert_runs_identical(serial, pooled)
+
+    def test_adaptive_same_layout_same_bits(self, small_truth):
+        a = run_calibration(small_truth, shard_size=16, **self.ADAPTIVE)
+        b = run_calibration(small_truth, shard_size=16, **self.ADAPTIVE)
+        assert_runs_identical(a, b)
+
+    def test_explicit_shard_size_immune_to_worker_count(self, small_truth):
+        """With an explicit shard_size, n_shards='auto' and the executor's
+        advertised parallelism have no effect on the bits."""
+        narrow = run_calibration(small_truth, shard_size=16,
+                                 executor=WideSerialExecutor(workers=1),
+                                 **self.ADAPTIVE)
+        wide = run_calibration(small_truth, shard_size=16,
+                               executor=WideSerialExecutor(workers=6),
+                               **self.ADAPTIVE)
+        assert_runs_identical(narrow, wide)
+
+    @pytest.mark.parametrize("layouts", [({"n_shards": 1}, {"n_shards": 3}),
+                                         ({"n_shards": 1}, {"shard_size": 7})])
+    def test_size_trajectory_invariant_across_layouts(self, small_truth,
+                                                      layouts):
+        left, right = (run_calibration(small_truth, **layout, **self.ADAPTIVE)
+                       for layout in layouts)
+        assert self.sizes(left) == self.sizes(right)
+        for w in range(len(left)):
+            for name in ("theta", "rho"):
+                lo_l, hi_l = left[w].posterior.credible_interval(name, 0.9)
+                lo_r, hi_r = right[w].posterior.credible_interval(name, 0.9)
+                assert lo_l <= hi_r and lo_r <= hi_l, (
+                    f"window {w} {name}: CIs across layouts do not overlap")
+
+    def test_shard_bounds_follow_the_policy_size(self, small_truth):
+        """Auto layout re-splits each window's (resized) cloud per worker."""
+        spy = WideSerialExecutor(workers=4)
+        results = run_calibration(small_truth, executor=spy, **self.ADAPTIVE)
+        # one map per window, always 4 shards, whatever the cloud size
+        assert spy.task_counts == [4] * len(results)
 
 
 class TestDispatchRobustness:

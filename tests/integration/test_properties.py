@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import functools
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -185,6 +187,78 @@ class TestBatchedWeightingInvariants:
             for i in range(len(rho))])
         assert np.array_equal(sample_b, sample_s)
         assert np.all(sample_b <= np.rint(counts))
+
+
+class TestAdaptiveSizingInvariants:
+    """Adaptive ensemble sizing must not move the posterior.
+
+    Whatever (reasonable) ESS band, clamp bounds, and base seed the policy
+    runs with, its per-window 90% credible intervals must overlap the
+    fixed-size oracle's on the synthetic ground-truth scenario — resizing
+    the cloud changes the Monte Carlo budget, not the target distribution.
+    """
+
+    BREAKS = (10, 20, 30)
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _truth():
+        from repro.data import PiecewiseConstant
+        from repro.seir import DiseaseParameters
+        from repro.sim import make_ground_truth
+        params = DiseaseParameters(population=50_000, initial_exposed=100)
+        return make_ground_truth(
+            params=params, horizon=35, seed=555,
+            theta_schedule=PiecewiseConstant.constant(0.30),
+            rho_schedule=PiecewiseConstant.constant(0.7))
+
+    @classmethod
+    def _calibrate(cls, base_seed, size_policy="fixed", options=None):
+        from repro.core import (SequentialCalibrator, SMCConfig,
+                                WindowSchedule, paper_first_window_prior,
+                                paper_observation_model, paper_window_jitter)
+        truth = cls._truth()
+        calib = SequentialCalibrator(
+            base_params=truth.params,
+            prior=paper_first_window_prior(),
+            jitter=paper_window_jitter(),
+            observation_model=paper_observation_model(),
+            schedule=WindowSchedule.from_breaks(list(cls.BREAKS)),
+            config=SMCConfig(n_parameter_draws=40, n_replicates=2,
+                             resample_size=60, base_seed=base_seed,
+                             size_policy=size_policy,
+                             size_policy_options=dict(options or {})))
+        return calib.run(truth.observations())
+
+    @classmethod
+    @functools.lru_cache(maxsize=None)
+    def _oracle(cls):
+        """The fixed-size reference run, computed once per session."""
+        return cls._calibrate(base_seed=17)
+
+    @settings(max_examples=5, deadline=None)
+    @given(base_seed=st.sampled_from([17, 99, 4242]),
+           target_low=st.sampled_from([0.02, 0.05, 0.1]),
+           target_high=st.sampled_from([0.3, 0.5]),
+           n_min=st.sampled_from([24, 48]))
+    def test_adaptive_ci_overlaps_fixed_oracle(self, base_seed, target_low,
+                                               target_high, n_min):
+        oracle = self._oracle()
+        adaptive = self._calibrate(
+            base_seed, size_policy="ess",
+            options={"target_low": target_low, "target_high": target_high,
+                     "n_min": n_min, "n_max": 240})
+        assert len(adaptive) == len(oracle)
+        for w, (a, o) in enumerate(zip(adaptive, oracle)):
+            assert 24 <= a.diagnostics.n_particles <= 240 or w == 0
+            for name in ("theta", "rho"):
+                lo_a, hi_a = a.posterior.credible_interval(name, 0.9)
+                lo_o, hi_o = o.posterior.credible_interval(name, 0.9)
+                assert lo_a <= hi_o and lo_o <= hi_a, (
+                    f"window {w} {name}: adaptive [{lo_a:.3f}, {hi_a:.3f}] "
+                    f"left the fixed-size oracle's [{lo_o:.3f}, {hi_o:.3f}] "
+                    f"(policy band [{target_low}, {target_high}], "
+                    f"seed {base_seed})")
 
 
 class TestBiasInvariants:
