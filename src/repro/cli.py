@@ -25,6 +25,7 @@ import numpy as np
 
 from .baselines import single_shot_importance_sampling
 from .core import paper_first_window_prior, paper_observation_model
+from .core.diagnostics import DEGENERACY_THRESHOLD
 from .hpc import make_executor
 from .inference import CalibrationConfig, calibrate, forecast_from_posterior
 from .seir import chicago_defaults
@@ -85,22 +86,61 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--step-budget", type=int, default=None,
                            help="budget policy: particle-steps "
                                 "(particle-days) allowed per window")
+            p.add_argument("--resample-policy",
+                           choices=("fixed", "ess"),
+                           default="fixed",
+                           help="policy driving the resampled posterior "
+                                "size per window (shares the --ess-*/"
+                                "--size-* knobs; no budget choice — the "
+                                "posterior is never re-simulated, so a "
+                                "particle-step budget cannot bind it; "
+                                "default: fixed resample size)")
+            p.add_argument("--temper", action="store_true",
+                           help="route degenerate windows through the "
+                                "tempered resampling bridge instead of a "
+                                "single pass")
+            p.add_argument("--temper-threshold", type=float,
+                           default=DEGENERACY_THRESHOLD,
+                           help="ESS fraction below which a window is "
+                                "tempered (with --temper)")
+            p.add_argument("--temper-floor", type=float, default=0.5,
+                           help="per-stage incremental ESS floor of the "
+                                "tempered bridge (with --temper)")
         if name == "forecast":
             p.add_argument("--horizon-days", type=int, default=14)
     return parser
 
 
-def _size_policy_options(args) -> dict:
-    """Translate CLI knobs into the selected policy's constructor options."""
-    if args.size_policy == "ess":
+def _policy_options(name: str, args, flag: str) -> dict:
+    """Translate the shared CLI knobs into a named policy's options."""
+    if name == "ess":
         return {"target_low": args.ess_low, "target_high": args.ess_high,
                 "n_min": args.size_min, "n_max": args.size_max}
-    if args.size_policy == "budget":
+    if name == "budget":
         if args.step_budget is None:
-            raise SystemExit("--size-policy budget requires --step-budget")
+            raise SystemExit(f"{flag} budget requires --step-budget")
         return {"step_budget": args.step_budget, "n_min": args.size_min,
                 "n_max": args.size_max}
     return {}
+
+
+def _size_policy_options(args) -> dict:
+    return _policy_options(args.size_policy, args, "--size-policy")
+
+
+def _resample_policy_options(args) -> dict:
+    return _policy_options(args.resample_policy, args, "--resample-policy")
+
+
+def _adaptive_config_kwargs(args) -> dict:
+    """The adaptive-resampling knobs shared by the sequential commands."""
+    return dict(size_policy=args.size_policy,
+                size_policy_options=_size_policy_options(args),
+                resample_size_policy=args.resample_policy,
+                resample_size_policy_options=_resample_policy_options(args),
+                temper_degenerate=args.temper,
+                temper_threshold=args.temper_threshold,
+                temper_ess_floor=args.temper_floor)
 
 
 def _cmd_fig2(args) -> int:
@@ -145,8 +185,7 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
         resample_size=args.resample, theta_jitter_width=0.16,
         rho_jitter_width=0.04, n_continuations=2, base_seed=args.seed,
         executor=args.executor, max_workers=args.workers,
-        size_policy=args.size_policy,
-        size_policy_options=_size_policy_options(args))
+        **_adaptive_config_kwargs(args))
     result = calibrate(truth.observations(include_deaths=include_deaths),
                        cfg, verbose=True)
     args.out.mkdir(parents=True, exist_ok=True)
@@ -156,6 +195,12 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
     sizes = ", ".join(str(int(n)) for n in result.ensemble_sizes())
     print(f"  per-window cloud sizes: {sizes} "
           f"({result.total_particle_steps()} particle-steps)")
+    posts = ", ".join(str(int(n)) for n in result.resample_sizes())
+    print(f"  per-window posterior sizes: {posts}")
+    tempered = result.tempered_windows()
+    if tempered:
+        print(f"  tempered rescue bridged windows: "
+              f"{', '.join(str(w) for w in tempered)}")
     print(f"\nwrote {args.out / (label + '_summary.json')}")
     return 0
 
@@ -166,8 +211,7 @@ def _cmd_forecast(args) -> int:
         window_breaks=(20, 34, 48), n_parameter_draws=args.draws,
         n_replicates=args.replicates, resample_size=args.resample,
         base_seed=args.seed, executor=args.executor,
-        max_workers=args.workers, size_policy=args.size_policy,
-        size_policy_options=_size_policy_options(args))
+        max_workers=args.workers, **_adaptive_config_kwargs(args))
     result = calibrate(truth.observations(include_deaths=True), cfg,
                        verbose=True)
     forecast = forecast_from_posterior(result.final_posterior,

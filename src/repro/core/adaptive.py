@@ -153,13 +153,28 @@ def ess_triggered_resample(log_weights: np.ndarray, n_out: int,
     healthy, indices are the identity and the log-weights pass through so
     they keep accumulating across windows; when degenerate, the ensemble is
     resampled and weights reset to zero (uniform).
+
+    Because a healthy ensemble passes through untouched, the output size is
+    necessarily ``len(log_weights)`` in that case; asking for a different
+    ``n_out`` is a contract violation (it would force a resample the ESS
+    does not justify) and raises ``ValueError`` instead of silently
+    resampling.  Callers that need to change the ensemble size regardless of
+    weight health should resample explicitly via
+    :func:`~repro.core.resampling.get_resampler` or
+    :func:`temper_and_resample`.
     """
     if not 0 < threshold_fraction <= 1:
         raise ValueError("threshold_fraction must be in (0, 1]")
     lw = np.asarray(log_weights, dtype=np.float64)
     w = normalize_log_weights(lw)
     ess = effective_sample_size(w)
-    if ess >= threshold_fraction * lw.size and n_out == lw.size:
+    if ess >= threshold_fraction * lw.size:
+        if n_out != lw.size:
+            raise ValueError(
+                f"ESS {ess:.1f} is above the resampling threshold, so the "
+                f"ensemble passes through at its current size {lw.size}; "
+                f"resampling it to {n_out} is not a conditional-resampling "
+                "decision — resample explicitly instead")
         return np.arange(lw.size), lw.copy(), False
     indices = get_resampler(resampler)(w, n_out, rng)
     return indices, np.zeros(n_out), True

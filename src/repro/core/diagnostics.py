@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .weights import effective_sample_size, weight_entropy
+from .weights import effective_sample_size, logsumexp, weight_entropy
 
 __all__ = ["WindowDiagnostics", "compute_diagnostics", "assess"]
 
@@ -51,6 +51,15 @@ class WindowDiagnostics:
         (ensemble size times days simulated, including burn-in for the
         first window).  The adaptive ensemble-size policies trade this
         against ESS; 0 when the producer did not record it.
+    temper_schedule:
+        Realised tempering exponents of the window's resampling pass when
+        the calibrator routed it through the tempered bridge
+        (:func:`repro.core.adaptive.temper_and_resample`); empty for a
+        plain single-pass resample.  A schedule longer than one stage is
+        the audit trail of a degenerate window that was rescued.
+    temper_stage_ess:
+        Per-stage incremental ESS realised along ``temper_schedule``
+        (same length; empty when no tempering ran).
     """
 
     n_particles: int
@@ -62,11 +71,23 @@ class WindowDiagnostics:
     unique_ancestors: int
     log_evidence: float
     particle_steps: int = 0
+    temper_schedule: tuple[float, ...] = ()
+    temper_stage_ess: tuple[float, ...] = ()
 
     @property
     def degenerate(self) -> bool:
         """True when the weighted ensemble has effectively collapsed."""
         return self.ess_fraction < DEGENERACY_THRESHOLD
+
+    @property
+    def tempered(self) -> bool:
+        """True when the window's resampling ran through the tempered bridge."""
+        return len(self.temper_schedule) > 0
+
+    @property
+    def temper_stages(self) -> int:
+        """Number of bridge stages (0 when no tempering ran, 1 = plain)."""
+        return len(self.temper_schedule)
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +100,8 @@ class WindowDiagnostics:
             "unique_ancestors": self.unique_ancestors,
             "log_evidence": self.log_evidence,
             "particle_steps": self.particle_steps,
+            "temper_schedule": list(self.temper_schedule),
+            "temper_stage_ess": list(self.temper_stage_ess),
         }
 
     @classmethod
@@ -90,26 +113,32 @@ class WindowDiagnostics:
                    max_weight=float(d["max_weight"]),
                    unique_ancestors=int(d["unique_ancestors"]),
                    log_evidence=float(d["log_evidence"]),
-                   particle_steps=int(d.get("particle_steps", 0)))
+                   particle_steps=int(d.get("particle_steps", 0)),
+                   temper_schedule=tuple(
+                       float(b) for b in d.get("temper_schedule", ())),
+                   temper_stage_ess=tuple(
+                       float(e) for e in d.get("temper_stage_ess", ())))
 
 
 def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
                         unique_ancestors: int, *,
-                        particle_steps: int = 0) -> WindowDiagnostics:
+                        particle_steps: int = 0,
+                        temper_schedule=(),
+                        temper_stage_ess=()) -> WindowDiagnostics:
     """Assemble diagnostics from a window's weight vectors."""
     lw = np.asarray(log_weights, dtype=np.float64)
     w = np.asarray(normalized, dtype=np.float64)
     if lw.shape != w.shape:
         raise ValueError("log_weights and normalized weights must align")
+    if len(temper_schedule) != len(temper_stage_ess):
+        raise ValueError("temper_schedule and temper_stage_ess must align")
     n = int(w.size)
     ess = effective_sample_size(w)
     entropy = weight_entropy(w)
     # A single-particle ensemble is uniform over its only state — the maximum
     # attainable entropy — so its fraction is 1.0, not 0.0 ("collapsed").
     entropy_fraction = float(entropy / np.log(n)) if n > 1 else 1.0
-    hi = float(np.max(lw))
-    log_evidence = hi + float(np.log(np.mean(np.exp(lw - hi)))) if hi > -np.inf \
-        else -np.inf
+    log_evidence = logsumexp(lw) - float(np.log(n))
     return WindowDiagnostics(
         n_particles=n,
         ess=float(ess),
@@ -120,6 +149,8 @@ def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
         unique_ancestors=int(unique_ancestors),
         log_evidence=float(log_evidence),
         particle_steps=int(particle_steps),
+        temper_schedule=tuple(float(b) for b in temper_schedule),
+        temper_stage_ess=tuple(float(e) for e in temper_stage_ess),
     )
 
 

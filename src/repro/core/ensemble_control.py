@@ -60,21 +60,33 @@ class EnsembleSizePolicy(Protocol):
     def next_size(self, *, window_index: int, current_size: int,
                   diagnostics: WindowDiagnostics,
                   next_window_days: int) -> int:
-        """Proposal count for the window after ``window_index``.
+        """Size decision for the cloud after ``window_index``.
 
         Parameters
         ----------
         window_index:
             Index of the window just weighted.
         current_size:
-            The proposal count that was *planned* for continuation windows
-            going into this decision (the previous policy output; initially
-            ``SMCConfig.continuation_ensemble_size``).
+            The **realised** size of the cloud this decision scales from.
+            In the calibrator's proposal-size role this is the
+            just-weighted cloud (``== diagnostics.n_particles`` — for
+            window 0 the ``n_parameter_draws * n_replicates`` prior cloud,
+            *not* the planned continuation size, so a grow decision after
+            a degenerate first window multiplies the base the ESS fraction
+            was actually measured on); in the resample-size role it is the
+            previous window's realised posterior size (initially
+            ``SMCConfig.resample_size``).  A multiplicative policy should
+            scale ``current_size``; a pass-through "keep the classic size"
+            policy must pin an explicit size instead (the calibrator pins
+            the default ``FixedSize()`` to ``continuation_ensemble_size``
+            for the proposal role).
         diagnostics:
             The just-weighted window's degeneracy diagnostics (ESS fraction,
             cloud size, particle-steps).
         next_window_days:
-            Length in days of the window the decision applies to.
+            Length in days of the window the decision applies to (for the
+            resample-size role: the just-weighted window itself, whose
+            posterior is being sized).
         """
         ...
 
@@ -85,12 +97,14 @@ def _clamp(size: float, n_min: int, n_max: int) -> int:
 
 @dataclass(frozen=True)
 class FixedSize:
-    """The non-adaptive baseline: keep whatever size was planned.
+    """The non-adaptive baseline: keep the current (realised) size.
 
-    ``size=None`` (the default) passes ``current_size`` through, which for
-    the calibrator means the configured ``resample_size * n_continuations``
-    — bit-identical behaviour to a run with no policy at all.  An explicit
-    ``size`` pins every continuation window to that count.
+    ``size=None`` (the default) passes ``current_size`` through.  The
+    calibrator pins the default instance to its classic fixed size for each
+    role (``resample_size * n_continuations`` for proposals,
+    ``resample_size`` for the posterior), so a ``"fixed"`` run stays
+    bit-identical to one with no policy at all.  An explicit ``size`` pins
+    every decision to that count.
     """
 
     size: int | None = None

@@ -49,14 +49,31 @@ The ensemble size itself can adapt between windows
 (``SMCConfig.size_policy``): after each window's weighting, an
 :class:`~repro.core.ensemble_control.EnsembleSizePolicy` maps the window's
 diagnostics to the *next* window's proposal count — growing the cloud when
-the ESS collapses, shrinking it when the posterior has converged.  Proposals
-flow through the same machinery at any size: parents are taken by cycling
-through the resampled posterior (draw ``i`` descends from parent ``i mod
-resample_size``, the exact order the fixed ``n_continuations`` replication
-produces), every draw's restart seed is keyed by ``(window, draw_index)``
+the ESS collapses, shrinking it when the posterior has converged.  The
+resampled *posterior* size is policy-driven too
+(``SMCConfig.resample_size_policy``): consulted per window with the
+pre-resampling weight diagnostics, it decides how many particles survive the
+resampling pass instead of pinning every window to a fixed
+``resample_size``.  Proposals flow through the same machinery at any size:
+parents are taken by cycling through the resampled posterior (draw ``i``
+descends from parent ``i mod len(posterior)``, the exact order the fixed
+``n_continuations`` replication produces), every draw's restart seed is
+keyed by ``(window, draw_index)``
 (:meth:`~repro.seir.seeding.SeedSequenceBank.window_draw_seed` — stable
 under size changes, unlike position-keyed seeds), and the shard layout is
 recomputed per window from whatever size arrives.
+
+Degenerate windows can be rescued in place
+(``SMCConfig.temper_degenerate``): when a window's ESS fraction falls below
+``temper_threshold``, the single resampling pass is replaced by the staged
+tempered bridge of :func:`repro.core.adaptive.temper_and_resample` — the
+likelihood is raised through adaptively chosen exponents, reweighting and
+resampling among the window's already-simulated trajectories so each
+bridging step keeps the incremental ESS above ``temper_ess_floor`` (no
+re-simulation).  The bridge draws from the same window-indexed resampling
+stream as the plain pass, preserving bit-reproducibility per ``(base_seed,
+shard layout)``, and the realised exponent schedule and per-stage ESS are
+recorded in the window's diagnostics for audit.
 
 Batched simulation is *sharded* across the executor
 (:mod:`repro.hpc.sharding`): each structural group is split into
@@ -80,7 +97,7 @@ engine is parity-tested against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 import numpy as np
@@ -96,8 +113,11 @@ from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
 from ..seir.outputs import Trajectory
 from ..seir.parameters import DiseaseParameters, ParameterOverride
 from ..seir.seeding import SeedSequenceBank
-from .diagnostics import WindowDiagnostics, compute_diagnostics
-from .ensemble_control import EnsembleSizePolicy, resolve_size_policy
+from .adaptive import temper_and_resample
+from .diagnostics import (DEGENERACY_THRESHOLD, WindowDiagnostics,
+                          compute_diagnostics)
+from .ensemble_control import (BudgetPolicy, EnsembleSizePolicy, FixedSize,
+                               resolve_size_policy)
 from .observation import ObservationModel
 from .particle import Particle, ParticleEnsemble
 from .priors import IndependentProduct
@@ -160,6 +180,36 @@ class SMCConfig:
     ``(base_seed, size_policy, shard layout)`` and identical across
     executors; the first window always uses
     ``n_parameter_draws * n_replicates`` prior draws.
+
+    ``resample_size_policy`` drives the *posterior* size the same way
+    ``size_policy`` drives the proposal cloud: it is consulted per window
+    with that window's pre-resampling weight diagnostics and decides how
+    many particles the resampled posterior keeps (``"fixed"``, the default,
+    keeps ``resample_size`` throughout).  Both policies compose — a grow
+    decision and a tempering pass can land on the same window — because
+    the continuation machinery is size-agnostic (parents are cycled from
+    whatever posterior size arrives, restart seeds are keyed by
+    ``(window, draw_index)``).
+
+    ``temper_degenerate`` routes degenerate windows through the tempered
+    bridge of :func:`repro.core.adaptive.temper_and_resample` instead of a
+    single resampling pass: when a window's pre-resampling ESS fraction
+    falls below ``temper_threshold`` (default: the
+    :data:`~repro.core.diagnostics.DEGENERACY_THRESHOLD` that flags a
+    window as degenerate), the likelihood is raised through an adaptive
+    exponent schedule — resampling among the already-simulated trajectories
+    at each stage, no re-simulation — chosen so every bridging step keeps
+    the incremental ESS above ``temper_ess_floor``.  The bridge draws from
+    the same window-indexed resampling stream as the plain pass, so runs
+    stay bit-reproducible per ``(base_seed, shard layout)`` and identical
+    across executors; the realised schedule is recorded in the window's
+    :class:`~repro.core.diagnostics.WindowDiagnostics`.
+    ``temper_resampler`` is the resampler used *inside* the bridge (default
+    ``"systematic"``, independent of the plain pass's ``resampler``): the
+    bridge resamples at every stage, so its variance-reduction depends on a
+    stratified, low-variance scheme — a multinomial bridge compounds
+    resampling noise across stages and can end up noisier than the single
+    pass it replaces.
     """
 
     n_parameter_draws: int = 500
@@ -176,6 +226,12 @@ class SMCConfig:
     weighting: str = "batched"
     size_policy: str | EnsembleSizePolicy = "fixed"
     size_policy_options: dict = field(default_factory=dict)
+    resample_size_policy: str | EnsembleSizePolicy = "fixed"
+    resample_size_policy_options: dict = field(default_factory=dict)
+    temper_degenerate: bool = False
+    temper_threshold: float = DEGENERACY_THRESHOLD
+    temper_ess_floor: float = 0.5
+    temper_resampler: str = "systematic"
 
     def __post_init__(self) -> None:
         for name in ("n_parameter_draws", "n_replicates", "resample_size",
@@ -183,6 +239,12 @@ class SMCConfig:
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
         resolve_size_policy(self.size_policy, self.size_policy_options)
+        resolve_size_policy(self.resample_size_policy,
+                            self.resample_size_policy_options)
+        if not 0.0 <= self.temper_threshold <= 1.0:
+            raise ValueError("temper_threshold must lie in [0, 1]")
+        if not 0.0 < self.temper_ess_floor < 1.0:
+            raise ValueError("temper_ess_floor must lie in (0, 1)")
         if self.weighting not in ("batched", "scalar"):
             raise ValueError(
                 f"weighting must be 'batched' or 'scalar', got {self.weighting!r}")
@@ -193,6 +255,7 @@ class SMCConfig:
                 f"{ENGINE_NAMES + BATCH_ENGINE_NAMES}")
         validate_shard_policy(self.shard_size, self.n_shards)
         get_resampler(self.resampler)  # validate eagerly
+        get_resampler(self.temper_resampler)
 
     @property
     def uses_batched_simulation(self) -> bool:
@@ -202,6 +265,11 @@ class SMCConfig:
     def size_policy_instance(self) -> EnsembleSizePolicy:
         """The configured ensemble-size controller, ready to consult."""
         return resolve_size_policy(self.size_policy, self.size_policy_options)
+
+    def resample_size_policy_instance(self) -> EnsembleSizePolicy:
+        """The configured posterior-size controller, ready to consult."""
+        return resolve_size_policy(self.resample_size_policy,
+                                   self.resample_size_policy_options)
 
     @property
     def first_window_ensemble_size(self) -> int:
@@ -242,7 +310,9 @@ class WindowResult:
         out: dict = {"window": self.window.label(),
                      "ess_fraction": self.diagnostics.ess_fraction,
                      "n_particles": self.diagnostics.n_particles,
-                     "particle_steps": self.diagnostics.particle_steps}
+                     "particle_steps": self.diagnostics.particle_steps,
+                     "resample_size": len(self.posterior),
+                     "temper_stages": self.diagnostics.temper_stages}
         for name in self.posterior.param_names:
             lo50, hi50 = self.posterior.credible_interval(name, 0.5)
             lo90, hi90 = self.posterior.credible_interval(name, 0.9)
@@ -344,8 +414,30 @@ class SequentialCalibrator:
         self.param_map = dict(param_map or DEFAULT_PARAM_MAP)
         self._progress = progress or (lambda _msg: None)
         self._bank = SeedSequenceBank(self.config.base_seed)
-        self._size_policy = self.config.size_policy_instance()
+        # A default FixedSize() passes the realised size through, which for
+        # window 0 would promote the (larger) prior cloud into every later
+        # window; pin it to each role's classic fixed size instead so
+        # "fixed" stays bit-identical to a run with no policy at all.
+        self._size_policy = self._pin_fixed(
+            self.config.size_policy_instance(),
+            self.config.continuation_ensemble_size)
+        self._resample_policy = self._pin_fixed(
+            self.config.resample_size_policy_instance(),
+            self.config.resample_size)
         self._validate()
+
+    @classmethod
+    def _pin_fixed(cls, policy: EnsembleSizePolicy,
+                   classic_size: int) -> EnsembleSizePolicy:
+        if isinstance(policy, FixedSize) and policy.size is None:
+            return FixedSize(size=classic_size)
+        if isinstance(policy, BudgetPolicy) and (
+                policy.base is None or (isinstance(policy.base, FixedSize)
+                                        and policy.base.size is None)):
+            # A budget cap over the default pass-through base must cap the
+            # classic size, not whatever realised size window 0 produced.
+            return replace(policy, base=FixedSize(size=classic_size))
+        return policy
 
     def _validate(self) -> None:
         prior_names = set(self.prior.names)
@@ -375,14 +467,21 @@ class SequentialCalibrator:
 
         After each window, the configured size policy maps the window's
         diagnostics to the next window's proposal count (the fixed policy
-        keeps ``continuation_ensemble_size`` throughout); the realised
-        per-window sizes are recorded in each result's diagnostics.
+        keeps ``continuation_ensemble_size`` throughout); the size it
+        scales from is the window's **realised** cloud
+        (``diagnostics.n_particles`` — for window 0 the prior cloud of
+        ``n_parameter_draws * n_replicates``, not the planned continuation
+        size).  The resample-size policy is consulted inside each window's
+        weighting pass and drives the posterior size the same way.  The
+        realised per-window sizes are recorded in each result's
+        diagnostics and posterior.
         """
         self._check_coverage(observations)
         results: list[WindowResult] = []
         posterior: ParticleEnsemble | None = None
         windows = list(self.schedule)
         planned = self.config.continuation_ensemble_size
+        planned_resample = self.config.resample_size
         for index, window in enumerate(windows):
             if index == 0:
                 ensemble = self._first_window_ensemble(window)
@@ -393,15 +492,18 @@ class SequentialCalibrator:
                                                        n_proposals=planned)
                 sim_days = window.n_days
             result = self._weigh_and_resample(index, window, ensemble,
-                                              observations, sim_days=sim_days)
+                                              observations, sim_days=sim_days,
+                                              resample_size=planned_resample)
             posterior = result.posterior
+            planned_resample = len(posterior)
             self._progress(
                 f"window {index} ({window.label()}): "
                 f"ESS {result.diagnostics.ess:.1f}/{result.diagnostics.n_particles}")
             results.append(result)
             if index + 1 < len(windows):
+                realised = result.diagnostics.n_particles
                 proposed = int(self._size_policy.next_size(
-                    window_index=index, current_size=planned,
+                    window_index=index, current_size=realised,
                     diagnostics=result.diagnostics,
                     next_window_days=windows[index + 1].n_days))
                 if proposed < 1:
@@ -660,7 +762,21 @@ class SequentialCalibrator:
     def _weigh_and_resample(self, index: int, window: TimeWindow,
                             ensemble: ParticleEnsemble,
                             observations: ObservationSet,
-                            sim_days: int | None = None) -> WindowResult:
+                            sim_days: int | None = None,
+                            resample_size: int | None = None) -> WindowResult:
+        """Weight the window's cloud and draw its resampled posterior.
+
+        ``resample_size`` is the resample-size policy's running state (the
+        previous window's realised posterior size; default
+        ``SMCConfig.resample_size``): the policy maps it and the window's
+        pre-resampling weight diagnostics to this window's posterior count.
+        With ``temper_degenerate`` set, a window whose ESS fraction falls
+        below ``temper_threshold`` is resampled through the staged tempered
+        bridge instead of one multinomial pass — drawing from the same
+        window-indexed resampling stream, so reproducibility per
+        ``(base_seed, shard layout)`` is unchanged — and the realised
+        schedule lands in the diagnostics.
+        """
         cfg = self.config
         if sim_days is None:
             sim_days = window.n_days
@@ -678,15 +794,55 @@ class SequentialCalibrator:
             [p.with_weight(ll) for p, ll in zip(ensemble, log_weights)])
 
         normalized = normalize_log_weights(log_weights)
-        resampler = get_resampler(cfg.resampler)
+        particle_steps = len(ensemble) * int(sim_days)
+        # The posterior-size decision needs this window's weight health, so
+        # the policy sees the pre-resampling diagnostics (ancestors unknown
+        # yet, hence 0); the recorded diagnostics are rebuilt below with the
+        # realised ancestry and tempering audit trail.
+        pre_diag = compute_diagnostics(log_weights, normalized, 0,
+                                       particle_steps=particle_steps)
+        current_resample = int(resample_size if resample_size is not None
+                               else cfg.resample_size)
+        n_out = int(self._resample_policy.next_size(
+            window_index=index, current_size=current_resample,
+            diagnostics=pre_diag, next_window_days=window.n_days))
+        if n_out < 1:
+            raise ValueError(
+                f"resample size policy proposed a posterior of {n_out} "
+                f"particles for window {index}")
+        if n_out != current_resample:
+            self._progress(
+                f"window {index}: resample policy resized posterior "
+                f"{current_resample} -> {n_out} (ESS fraction "
+                f"{pre_diag.ess_fraction:.2f})")
+
         rng_resample = self._bank.ancillary_generator(_PURPOSE_RESAMPLE,
                                                       window_index=index)
-        indices = resampler(normalized, cfg.resample_size, rng_resample)
+        schedule: tuple[float, ...] = ()
+        stage_ess: tuple[float, ...] = ()
+        if cfg.temper_degenerate and \
+                pre_diag.ess_fraction < cfg.temper_threshold:
+            tempered = temper_and_resample(
+                log_weights, n_out, rng_resample,
+                ess_floor_fraction=cfg.temper_ess_floor,
+                resampler=cfg.temper_resampler)
+            indices = tempered.indices
+            schedule, stage_ess = tempered.schedule, tempered.stage_ess
+            self._progress(
+                f"window {index}: tempered rescue bridged "
+                f"{tempered.n_stages} stage(s) (ESS fraction "
+                f"{pre_diag.ess_fraction:.3f} < {cfg.temper_threshold})")
+        else:
+            indices = get_resampler(cfg.resampler)(normalized, n_out,
+                                                   rng_resample)
         posterior = weighted_ensemble.select(indices)
 
-        diagnostics = compute_diagnostics(
-            log_weights, normalized, posterior.unique_ancestors(),
-            particle_steps=len(ensemble) * int(sim_days))
+        # The weight statistics are unchanged since pre_diag; only the
+        # realised ancestry and the tempering audit trail are new.
+        diagnostics = replace(
+            pre_diag, unique_ancestors=int(posterior.unique_ancestors()),
+            temper_schedule=tuple(float(b) for b in schedule),
+            temper_stage_ess=tuple(float(e) for e in stage_ess))
         return WindowResult(
             index=index, window=window, posterior=posterior,
             diagnostics=diagnostics,

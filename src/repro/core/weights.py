@@ -115,6 +115,8 @@ def weighted_quantile(values: np.ndarray, weights: np.ndarray,
     order = np.argsort(v, kind="stable")
     v_sorted = v[order]
     cdf = np.cumsum(w[order])
+    if cdf[-1] <= 0.0:
+        raise ValueError("weights must not be all zero")
     cdf /= cdf[-1]
     idx = np.searchsorted(cdf, q_arr, side="left")
     idx = np.clip(idx, 0, v.size - 1)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from ..core.diagnostics import DEGENERACY_THRESHOLD
 from ..core.observation import ObservationModel, paper_observation_model
 from ..core.priors import Beta, IndependentProduct, Uniform
 from ..core.proposals import JointJitter, paper_window_jitter
@@ -67,6 +68,22 @@ class CalibrationConfig:
     #: keywords (see repro.core.ensemble_control).
     size_policy: str = "fixed"
     size_policy_options: dict = field(default_factory=dict)
+    #: Posterior-size controller (same policy names/options as size_policy):
+    #: decides per window how many particles the resampled posterior keeps;
+    #: "fixed" keeps resample_size throughout.
+    resample_size_policy: str = "fixed"
+    resample_size_policy_options: dict = field(default_factory=dict)
+    #: Tempered rescue of degenerate windows: when enabled, a window whose
+    #: pre-resampling ESS fraction drops below temper_threshold is resampled
+    #: through the staged tempered bridge (repro.core.adaptive) instead of a
+    #: single pass; temper_ess_floor is the per-stage incremental ESS floor.
+    temper_degenerate: bool = False
+    temper_threshold: float = DEGENERACY_THRESHOLD
+    temper_ess_floor: float = 0.5
+    #: Resampler used inside the bridge ("systematic" by default — a
+    #: low-variance scheme; a multinomial bridge compounds per-stage
+    #: resampling noise).
+    temper_resampler: str = "systematic"
 
     executor: str = "serial"
     max_workers: int | None = None
@@ -114,6 +131,12 @@ class CalibrationConfig:
             keep_weighted_ensemble=self.keep_weighted_ensemble,
             size_policy=self.size_policy,
             size_policy_options=dict(self.size_policy_options),
+            resample_size_policy=self.resample_size_policy,
+            resample_size_policy_options=dict(self.resample_size_policy_options),
+            temper_degenerate=self.temper_degenerate,
+            temper_threshold=self.temper_threshold,
+            temper_ess_floor=self.temper_ess_floor,
+            temper_resampler=self.temper_resampler,
         )
 
     def make_executor(self) -> Executor:

@@ -130,6 +130,31 @@ class CalibrationResult:
         return np.array([wr.diagnostics.n_particles for wr in self.windows],
                         dtype=np.int64)
 
+    def resample_sizes(self) -> np.ndarray:
+        """Per-window resampled-posterior sizes.
+
+        Fixed at ``resample_size`` under the default policy; under an
+        adaptive ``resample_size_policy`` it records every posterior-size
+        decision the run actually took.
+        """
+        return np.array([len(wr.posterior) for wr in self.windows],
+                        dtype=np.int64)
+
+    def tempered_windows(self) -> list[int]:
+        """Indices of windows rescued through a multi-stage tempered bridge.
+
+        A window appears here when its resampling ran through
+        :func:`repro.core.adaptive.temper_and_resample` *and* the adaptive
+        schedule needed more than one stage — the signature of a window
+        degenerate enough to require actual bridging.  A single-stage
+        bridge applied the full likelihood in one pass (like the plain
+        path, though drawn with ``temper_resampler``'s scheme); those
+        windows are visible via each diagnostics' ``tempered`` flag, and
+        the realised schedules live in ``temper_schedule``.
+        """
+        return [wr.index for wr in self.windows
+                if wr.diagnostics.temper_stages > 1]
+
     def total_particle_steps(self) -> int:
         """Total simulation cost of the run in particle-days.
 
@@ -152,6 +177,8 @@ class CalibrationResult:
             "wall_time_seconds": self.wall_time_seconds,
             "log_evidence": self.log_evidence(),
             "ensemble_sizes": self.ensemble_sizes().tolist(),
+            "resample_sizes": self.resample_sizes().tolist(),
+            "tempered_windows": self.tempered_windows(),
             "total_particle_steps": self.total_particle_steps(),
             "diagnostics": [wr.diagnostics.to_dict() for wr in self.windows],
             "parameters": {name: self.parameter_track(name).to_dict()

@@ -25,10 +25,18 @@ import numpy as np
 __all__ = ["SeedSequenceBank", "generator_for", "batch_generator_for",
            "mix_seed"]
 
+# Stream tags.  The first three key ``SeedSequence`` spawn/entropy domains;
+# the ``mix_seed``-based methods below additionally reserve the component
+# position *immediately after* ``base_seed`` for their method tag, so no two
+# methods can ever reach the same ``mix_seed`` argument tuple whatever their
+# caller-supplied components are (a ``window_restart_seed`` call whose
+# ``original_seed`` happens to equal another method's tag used to alias that
+# method's seeds exactly).
 _SIMULATION_STREAM = 0
 _ANCILLARY_STREAM = 1
 _BATCH_STREAM = 2
 _WINDOW_DRAW_STREAM = 3
+_WINDOW_RESTART_STREAM = 4
 
 
 def generator_for(seed: int) -> np.random.Generator:
@@ -178,9 +186,13 @@ class SeedSequenceBank:
         The paper re-parameterises a checkpoint with "1) the random seed" —
         restarted trajectories get new randomness rather than replaying the
         parent stream.  Mixing in the particle index keeps resampled
-        duplicates of the same ancestor from evolving identically.
+        duplicates of the same ancestor from evolving identically.  The
+        method's stream tag sits in the reserved position right after the
+        base seed, so no ``original_seed`` value can steer these seeds into
+        :meth:`window_draw_seed`'s domain (or any other bank stream's).
         """
-        return mix_seed(self.base_seed, original_seed, window_index, particle_index)
+        return mix_seed(self.base_seed, _WINDOW_RESTART_STREAM, original_seed,
+                        window_index, particle_index)
 
     def window_draw_seed(self, window_index: int, draw_index: int) -> int:
         """Seed of proposal ``draw_index`` in window ``window_index``.
@@ -192,8 +204,9 @@ class SeedSequenceBank:
         leaves the seeds of all surviving draw indices unchanged (the seed
         vector of a larger cloud extends the smaller one as a prefix), and
         resampled duplicates of one ancestor still diverge because their
-        draw indices differ.  The stream tag keeps these seeds disjoint
-        from :meth:`window_restart_seed` and every other bank stream.
+        draw indices differ.  The stream tag, in the reserved position right
+        after the base seed, keeps these seeds disjoint from
+        :meth:`window_restart_seed` and every other bank stream.
         """
         if window_index < 0 or draw_index < 0:
             raise ValueError("window_index and draw_index must be >= 0")

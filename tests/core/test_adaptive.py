@@ -118,6 +118,39 @@ class TestTemperAndResample:
         assert len(out.stage_ess) == out.n_stages
         assert all(e >= 1.0 for e in out.stage_ess)
 
+    def test_single_stage_schedule_equals_plain_resampling(self):
+        """With a flat enough likelihood the schedule is the single stage
+        ``[1.0]`` and the bridge must reduce *exactly* to one plain
+        resampling pass — same resampler, same draws, same indices."""
+        from repro.core import get_resampler
+        ll = np.linspace(-0.5, 0.0, 120)  # mild tilt: one stage suffices
+        for name in ("multinomial", "systematic"):
+            r1 = np.random.Generator(np.random.PCG64(77))
+            r2 = np.random.Generator(np.random.PCG64(77))
+            out = temper_and_resample(ll, 80, r1, resampler=name)
+            assert out.schedule == (1.0,)
+            plain = get_resampler(name)(normalize_log_weights(ll), 80, r2)
+            assert np.array_equal(out.indices, plain)
+
+    def test_forced_progress_path_composes_with_changed_n_out(self, rng):
+        """A likelihood so pathological that every bisection collapses to
+        the current exponent exercises the forced ``beta + 1e-4`` progress
+        guarantee; the bridge must still finish at 1.0 and deliver exactly
+        ``n_out`` valid indices (intermediate stages run at full ensemble
+        size, only the final stage shrinks to the requested posterior)."""
+        ll = np.full(200, -1e9)
+        ll[0] = 0.0  # one totally dominant particle
+        out = temper_and_resample(ll, 80, rng, ess_floor_fraction=0.9)
+        assert out.indices.shape == (80,)
+        assert np.all(out.indices == 0)  # only the dominant ancestor survives
+        assert out.schedule[-1] == 1.0
+        assert out.n_stages > 1  # the forced-progress stages actually ran
+        assert all(b2 > b1 for b1, b2 in zip(out.schedule, out.schedule[1:]))
+        # every pre-final stage is a forced minimal step, not a bisection win
+        assert all(b <= 1e-4 * (i + 1) + 1e-12
+                   for i, b in enumerate(out.schedule[:-1]))
+        assert len(out.stage_ess) == out.n_stages
+
     def test_tempering_beats_plain_resampling_on_ancestors(self, rng):
         """The point of tempering: more surviving ancestors for the same
         peaked likelihood."""
@@ -168,11 +201,22 @@ class TestEssTriggeredResample:
         assert np.all(idx == 0)
         assert np.all(new_lw == 0.0)
 
-    def test_size_change_forces_resample(self, rng):
+    def test_healthy_size_change_rejected_not_silently_resampled(self, rng):
+        """Regression: a healthy ensemble must pass through unchanged — a
+        caller requesting a different size is a contract violation, not a
+        silent excuse to resample (the old behaviour)."""
         lw = np.zeros(100)
-        idx, _, resampled = ess_triggered_resample(lw, 50, rng)
+        with pytest.raises(ValueError, match="above the resampling threshold"):
+            ess_triggered_resample(lw, 50, rng)
+
+    def test_degenerate_size_change_resamples(self, rng):
+        lw = np.full(100, -1000.0)
+        lw[:2] = 0.0
+        idx, new_lw, resampled = ess_triggered_resample(lw, 50, rng)
         assert resampled
         assert idx.shape == (50,)
+        assert np.all(idx < 2)
+        assert np.all(new_lw == 0.0)
 
     def test_threshold_validated(self, rng):
         with pytest.raises(ValueError):

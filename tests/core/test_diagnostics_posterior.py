@@ -46,10 +46,46 @@ class TestDiagnostics:
         assert d.entropy == 0.0
         assert d.entropy_fraction == 1.0
 
+    def test_log_evidence_reuses_logsumexp(self):
+        """log_evidence is logsumexp(lw) - log(n) — including on weight
+        vectors whose naive mean-of-exponentials would overflow."""
+        from repro.core import logsumexp
+        lw = np.array([700.0, 699.0, -10.0])
+        d = self._diag(lw)
+        assert d.log_evidence == pytest.approx(logsumexp(lw) - np.log(3))
+        assert np.isfinite(d.log_evidence)
+
     def test_round_trip(self):
         d = self._diag(np.zeros(10))
         restored = WindowDiagnostics.from_dict(d.to_dict())
         assert restored == d
+
+    def test_round_trip_with_temper_fields(self):
+        lw = np.linspace(-4, 0, 10)
+        d = compute_diagnostics(lw, normalize_log_weights(lw), 3,
+                                temper_schedule=(0.25, 1.0),
+                                temper_stage_ess=(6.0, 5.0))
+        assert d.tempered
+        assert d.temper_stages == 2
+        restored = WindowDiagnostics.from_dict(d.to_dict())
+        assert restored == d
+        assert restored.temper_schedule == (0.25, 1.0)
+
+    def test_from_dict_tolerates_pre_temper_payloads(self):
+        """Back-compat: payloads written before the tempering audit fields
+        existed must still round-trip (empty schedule = no tempering)."""
+        d = self._diag(np.zeros(10))
+        payload = d.to_dict()
+        del payload["temper_schedule"], payload["temper_stage_ess"]
+        restored = WindowDiagnostics.from_dict(payload)
+        assert not restored.tempered
+        assert restored.temper_stages == 0
+
+    def test_temper_fields_must_align(self):
+        lw = np.zeros(4)
+        with pytest.raises(ValueError, match="align"):
+            compute_diagnostics(lw, normalize_log_weights(lw), 1,
+                                temper_schedule=(1.0,), temper_stage_ess=())
 
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):

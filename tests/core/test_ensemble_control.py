@@ -219,6 +219,37 @@ class TestCalibratorWiring:
         assert results[0].diagnostics.particle_steps == 60 * 18
         assert results[1].diagnostics.particle_steps == 25 * 8
 
+    def test_ess_grow_scales_the_realised_first_window_cloud(self, small_truth):
+        """Regression (window-0 current_size contract): the policy scales
+        the cloud the ESS fraction was measured on — after window 0 that is
+        the realised ``n_parameter_draws * n_replicates`` prior cloud (60),
+        not the planned continuation size (40).  An always-grow policy must
+        therefore double 60, not 40."""
+        results = self.run(small_truth, size_policy="ess",
+                           size_policy_options={"target_low": 0.9,
+                                                "target_high": 0.95,
+                                                "growth_factor": 2.0,
+                                                "n_min": 10,
+                                                "n_max": 100_000})
+        assert all(r.diagnostics.ess_fraction < 0.9 for r in results)
+        assert [r.diagnostics.n_particles for r in results] == [60, 120, 240]
+
+    def test_budget_policy_default_base_pinned_across_window0(self, small_truth):
+        """A non-binding budget over the default pass-through base must keep
+        the classic continuation size (40), not promote window 0's realised
+        prior cloud (60) into every later window."""
+        results = self.run(small_truth, size_policy="budget",
+                           size_policy_options={"step_budget": 1_000_000,
+                                                "n_min": 10})
+        assert [r.diagnostics.n_particles for r in results] == [60, 40, 40]
+
+    def test_explicit_fixed_instance_pinned_across_window0(self, small_truth):
+        """A default FixedSize() passed as an instance is pinned to the
+        classic continuation size, so window 0's larger prior cloud does
+        not leak into later windows through the pass-through."""
+        results = self.run(small_truth, size_policy=FixedSize())
+        assert [r.diagnostics.n_particles for r in results] == [60, 40, 40]
+
     def test_ess_policy_changes_sizes_deterministically(self, small_truth):
         kwargs = dict(size_policy="ess",
                       size_policy_options={"target_low": 0.3,

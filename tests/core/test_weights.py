@@ -142,3 +142,10 @@ class TestWeightedStats:
         w = np.full(10, 0.1)
         out = weighted_quantile(v, w, np.array([0.5]))
         assert out.shape == (1,)
+
+    def test_weighted_quantile_all_zero_weights_rejected(self):
+        """Regression: an all-zero weight vector used to divide by zero in
+        the CDF normalisation and return NaN; it must raise the same clear
+        error its sibling weight functions produce."""
+        with pytest.raises(ValueError, match="all zero"):
+            weighted_quantile(np.arange(5.0), np.zeros(5), 0.5)

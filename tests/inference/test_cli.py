@@ -26,6 +26,34 @@ class TestParser:
         assert args.resample == 60
         assert args.executor == "serial"
 
+    def test_temper_and_resample_policy_knobs(self):
+        args = build_parser().parse_args(
+            ["fig4", "--temper", "--temper-threshold", "0.1",
+             "--temper-floor", "0.3", "--resample-policy", "ess",
+             "--ess-low", "0.05", "--ess-high", "0.4"])
+        assert args.temper
+        assert args.temper_threshold == 0.1
+        assert args.temper_floor == 0.3
+        assert args.resample_policy == "ess"
+
+    def test_temper_defaults_off(self):
+        args = build_parser().parse_args(["fig5"])
+        assert not args.temper
+        assert args.resample_policy == "fixed"
+
+    def test_size_budget_policy_requires_step_budget(self):
+        args = build_parser().parse_args(
+            ["fig4", "--size-policy", "budget"])
+        from repro.cli import _size_policy_options
+        with pytest.raises(SystemExit, match="step-budget"):
+            _size_policy_options(args)
+
+    def test_resample_policy_rejects_budget(self):
+        """A particle-step budget cannot bind the posterior (it is never
+        re-simulated), so the CLI does not offer it for this role."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--resample-policy", "budget"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])

@@ -38,6 +38,22 @@ class TestCalibrationConfig:
         restored = CalibrationConfig.from_dict(cfg.to_dict())
         assert restored == cfg
 
+    def test_temper_and_resample_policy_round_trip(self):
+        cfg = CalibrationConfig(
+            temper_degenerate=True, temper_threshold=0.1,
+            temper_ess_floor=0.25, temper_resampler="stratified",
+            resample_size_policy="ess",
+            resample_size_policy_options={"target_low": 0.2,
+                                          "target_high": 0.6})
+        restored = CalibrationConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+        smc = restored.smc_config()
+        assert smc.temper_degenerate
+        assert smc.temper_threshold == 0.1
+        assert smc.temper_ess_floor == 0.25
+        assert smc.temper_resampler == "stratified"
+        assert smc.resample_size_policy == "ess"
+
     def test_scaled(self):
         cfg = CalibrationConfig(n_parameter_draws=100, resample_size=50)
         big = cfg.scaled(10)
@@ -120,6 +136,13 @@ class TestCalibrationResult:
         fr = result.ess_fractions()
         assert fr.shape == (2,)
         assert np.all((fr > 0) & (fr <= 1))
+
+    def test_resample_sizes_and_tempered_windows(self, result):
+        assert result.resample_sizes().tolist() == [30, 30]
+        assert result.tempered_windows() == []  # tempering off by default
+        s = result.summary()
+        assert s["resample_sizes"] == [30, 30]
+        assert s["tempered_windows"] == []
 
     def test_window_count_mismatch_rejected(self, result):
         from repro.inference import CalibrationResult

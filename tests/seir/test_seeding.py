@@ -73,6 +73,28 @@ class TestSeedSequenceBank:
         assert (SeedSequenceBank(7).window_restart_seed(5, 1, 2)
                 == SeedSequenceBank(7).window_restart_seed(5, 1, 2))
 
+    def test_restart_and_draw_seed_domains_disjoint(self):
+        """Regression: ``window_restart_seed(original_seed=3, w, p)`` used
+        to reach the exact ``mix_seed`` tuple of ``window_draw_seed(w, p)``
+        (3 is the draw stream's tag), aliasing the two streams.  The
+        per-method tag in the reserved position after the base seed must
+        keep the domains disjoint for *every* original_seed — including the
+        stream-tag values themselves."""
+        bank = SeedSequenceBank(7)
+        draw_seeds = {bank.window_draw_seed(w, p)
+                      for w in range(4) for p in range(8)}
+        restart_seeds = {bank.window_restart_seed(orig, w, p)
+                         for orig in (0, 1, 2, 3, 4, 5, 7)
+                         for w in range(4) for p in range(8)}
+        assert not draw_seeds & restart_seeds
+        # the exact aliasing pair from the bug report
+        assert bank.window_restart_seed(3, 1, 2) != bank.window_draw_seed(1, 2)
+
+    def test_restart_seed_varies_with_original_seed(self):
+        bank = SeedSequenceBank(7)
+        assert (bank.window_restart_seed(1, 1, 0)
+                != bank.window_restart_seed(2, 1, 0))
+
 
 class TestWindowedAncillaryStreams:
     """Regression tests for the cross-window RNG stream reuse bug: every
