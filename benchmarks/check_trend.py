@@ -43,34 +43,50 @@ def extract_speedups(payload: dict, prefix: str = "") -> dict[str, float]:
     return out
 
 
-def warn_cpu_mismatch(baseline: dict, fresh: dict) -> str | None:
-    """Warn when baseline and fresh runs came from different core counts.
+def cpu_mismatch(baseline: dict, fresh: dict) -> tuple[int, int] | None:
+    """``(baseline_cpus, fresh_cpus)`` when the two differ, else ``None``.
 
     Multi-core speedups (e.g. the sharded-dispatch entries) are only
     comparable between hosts with similar parallelism: a baseline produced
     on a 1-core container sits near 1x, so comparing it against a 4-core CI
     run silently turns the ratio guard into a no-op (and the reverse makes
-    it impossibly strict).  Payloads that record ``cpu_count`` (e.g.
-    ``bench_sharding.py``) get a loud warning on mismatch; the comparison
-    still runs — regenerating the committed baseline on matching hardware
-    is the real fix (see the ROADMAP's multi-core baseline item).
+    it impossibly strict).  Only payloads that record ``cpu_count`` (e.g.
+    ``bench_sharding.py``) participate.
     """
     base_cpu = baseline.get("cpu_count")
     fresh_cpu = fresh.get("cpu_count")
     if base_cpu is None or fresh_cpu is None or base_cpu == fresh_cpu:
         return None
-    return (f"cpu_count mismatch: baseline was produced on {base_cpu} "
-            f"core(s) but the fresh run used {fresh_cpu} — multi-core "
-            "speedup entries are not comparable across this gap; "
-            "regenerate the committed baseline on matching hardware")
+    return int(base_cpu), int(fresh_cpu)
+
+
+def render_cpu_mismatch(mismatch: tuple[int, int]) -> str:
+    """One machine-readable line: ``CPU_MISMATCH baseline=N fresh=M``.
+
+    The fixed leading token lets CI logs (and the workflow itself) grep
+    for the condition instead of pattern-matching free text; the prose
+    after it is for humans.
+    """
+    base_cpu, fresh_cpu = mismatch
+    return (f"CPU_MISMATCH baseline={base_cpu} fresh={fresh_cpu} "
+            "multi-core speedup entries are not comparable across this "
+            "gap; regenerate the committed baseline on matching hardware")
 
 
 def check_trend(baseline: dict, fresh: dict, min_fraction: float,
-                floor: float) -> list[str]:
-    """Return a list of human-readable failures (empty = pass)."""
-    warning = warn_cpu_mismatch(baseline, fresh)
-    if warning is not None:
-        print(f"  WARNING: {warning}", file=sys.stderr)
+                floor: float, strict_cpu: bool = False) -> list[str]:
+    """Return a list of human-readable failures (empty = pass).
+
+    With ``strict_cpu`` a recorded ``cpu_count`` mismatch is itself a
+    failure (the ratio guard is meaningless across it); by default it is
+    only warned about and the comparison still runs.
+    """
+    mismatch = cpu_mismatch(baseline, fresh)
+    if mismatch is not None:
+        line = render_cpu_mismatch(mismatch)
+        print(f"  WARNING: {line}", file=sys.stderr)
+        if strict_cpu:
+            return [line]
     base_speedups = extract_speedups(baseline)
     fresh_speedups = extract_speedups(fresh)
     if not fresh_speedups:
@@ -111,11 +127,21 @@ def main(argv: list[str] | None = None) -> int:
                              "baseline value (machine-noise allowance)")
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
                         help="absolute minimum acceptable speedup")
+    parser.add_argument("--strict-cpu", action="store_true",
+                        help="exit non-zero (status 3) on a recorded "
+                             "cpu_count mismatch instead of just warning")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
     print(f"trend check: {args.fresh} vs baseline {args.baseline}")
+    if args.strict_cpu:
+        mismatch = cpu_mismatch(baseline, fresh)
+        if mismatch is not None:
+            print(f"  {render_cpu_mismatch(mismatch)}", file=sys.stderr)
+            print("\nCPU MISMATCH (strict mode): baselines must be "
+                  "regenerated on matching hardware", file=sys.stderr)
+            return 3
     failures = check_trend(baseline, fresh, args.min_fraction, args.floor)
     if failures:
         print("\nBENCHMARK REGRESSION DETECTED:", file=sys.stderr)

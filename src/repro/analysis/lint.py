@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro.analysis.lint src/``.
+
+Two passes over every ``*.py`` file under the given paths:
+
+1. **collect** — parse all files and build the static stream-tag registry
+   (:func:`repro.analysis.registry.collect_registrations`), so tag
+   registrations in one module legitimise constants used in another and
+   cross-file duplicate tags are detectable;
+2. **check** — run the per-file rules (:mod:`repro.analysis.rules`) with
+   the collected registry, then the cross-file duplicate-tag rule.
+
+Exit status is 0 when no violation survives ``--select``, 1 otherwise —
+the CI ``lint`` job depends on exactly this contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .registry import collect_registrations
+from .rules import (RULES, FileContext, Violation, check_file,
+                    registry_violations)
+
+__all__ = ["classify_path", "iter_source_files", "main", "run_lint"]
+
+#: Subsystem directories in which determinism hazards (REPRO2xx) are errors.
+_DETERMINISTIC_PARTS = {"core", "seir", "hpc"}
+#: Subsystem directories whose signatures must be fully annotated
+#: (REPRO4xx); ``seir/seeding.py`` joins them as the mypy-gated file.
+_TYPED_PARTS = {"core", "hpc"}
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def classify_path(path: Path) -> FileContext:
+    """Decide which rule families apply to ``path``.
+
+    Classification looks at *any* path component, so fixture trees that
+    mirror the layout (``tests/analysis/fixtures/core/...``) inherit the
+    same rule set as the real subsystems.
+    """
+    parts = path.parts
+    rng_allowed = path.name == "seeding.py" and "seir" in parts
+    deterministic = any(p in _DETERMINISTIC_PARTS for p in parts)
+    typed = rng_allowed or any(p in _TYPED_PARTS for p in parts)
+    return FileContext(path=str(path), rng_allowed=rng_allowed,
+                       deterministic=deterministic, typed=typed)
+
+
+def iter_source_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for child in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    out.add(child)
+        elif p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return sorted(out)
+
+
+def run_lint(paths: Sequence[str],
+             select: Sequence[str] | None = None) -> list[Violation]:
+    """Lint ``paths`` and return violations sorted by location.
+
+    ``select`` keeps only rules whose id starts with one of the given
+    prefixes (``["REPRO1"]`` keeps the whole RNG-confinement family).
+    """
+    files = iter_source_files(paths)
+    trees: dict[str, ast.Module] = {}
+    syntax_errors: list[Violation] = []
+    for path in files:
+        try:
+            trees[str(path)] = ast.parse(path.read_text(encoding="utf-8"),
+                                         filename=str(path))
+        except SyntaxError as exc:
+            syntax_errors.append(Violation(
+                path=str(path), line=exc.lineno or 0, col=exc.offset or 0,
+                rule="REPRO000", message=f"syntax error: {exc.msg}"))
+
+    registry = collect_registrations(trees)
+    registered = registry.constants
+
+    violations = list(syntax_errors)
+    for path_str, tree in trees.items():
+        context = classify_path(Path(path_str))
+        violations.extend(check_file(tree, context, registered))
+    violations.extend(registry_violations(registry))
+
+    if select:
+        prefixes = tuple(select)
+        violations = [v for v in violations if v.rule.startswith(prefixes)]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Contract-aware static analysis for the calibration "
+                    "codebase (RNG confinement, determinism hazards, "
+                    "executor payload hygiene, typed-core annotations).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="PREFIX",
+                        help="only report rules matching this id prefix "
+                             "(repeatable), e.g. --select REPRO1")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return 0
+
+    violations = run_lint(args.paths, select=args.select)
+    if args.format == "json":
+        print(json.dumps([v.__dict__ for v in violations], indent=2))
+    else:
+        for v in violations:
+            print(v.render())
+        if violations:
+            print(f"\n{len(violations)} violation(s) found.",
+                  file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,16 @@ from ..core.smc import BIAS_PARAM, _FirstWindowTask, _run_first_window_task
 from ..data.sources import ObservationSet
 from ..hpc.executor import Executor, SerialExecutor
 from ..seir.parameters import DiseaseParameters
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 
 __all__ = ["ABCResult", "sqrt_count_distance", "abc_rejection"]
+
+# ABC proposes from the same prior stream as the calibrator, and its
+# in-distance thinning plays the bias model's role, so both reuse the
+# calibrator's purpose tags (idempotent re-registration pins the shared
+# values — a re-key on either side fails loudly at import).
+_PURPOSE_PRIOR = register_ancillary_purpose("smc_prior", 0)
+_PURPOSE_BIAS = register_ancillary_purpose("smc_bias", 1)
 
 
 def sqrt_count_distance(observed: np.ndarray, simulated: np.ndarray) -> float:
@@ -91,8 +98,8 @@ def abc_rejection(observations: ObservationSet,
     executor = executor or SerialExecutor()
     param_map = dict(param_map or {"theta": "transmission_rate"})
     bank = SeedSequenceBank(base_seed)
-    rng_prior = bank.ancillary_generator(0)
-    rng_thin = bank.ancillary_generator(1)
+    rng_prior = bank.ancillary_generator(_PURPOSE_PRIOR)
+    rng_thin = bank.ancillary_generator(_PURPOSE_BIAS)
 
     draws = prior.sample(n_proposals, rng_prior)
     seeds = bank.common_replicate_seeds(n_proposals)

@@ -19,9 +19,14 @@ from ..core.weights import logsumexp
 from ..data.sources import ObservationSet
 from ..hpc.executor import Executor, SerialExecutor
 from ..seir.parameters import DiseaseParameters
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 
 __all__ = ["GridPosterior", "grid_posterior"]
+
+# Lattice evaluation only randomises the bias model; registered clear of
+# both the calibrator (0..3) and MCMC (20..21) blocks.
+_PURPOSE_GRID_BIAS = register_ancillary_purpose(
+    "grid_bias", 30, description="bias-model draws at lattice nodes")
 
 
 @dataclass(frozen=True)
@@ -77,7 +82,7 @@ def grid_posterior(observations: ObservationSet,
         raise ValueError("grids must be 1-d arrays")
     executor = executor or SerialExecutor()
     bank = SeedSequenceBank(base_seed)
-    rng_bias = bank.ancillary_generator(30)
+    rng_bias = bank.ancillary_generator(_PURPOSE_GRID_BIAS)
     seeds = bank.common_replicate_seeds(n_replicates)
     window_obs = observations.window(start_day, end_day)
 

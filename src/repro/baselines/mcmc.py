@@ -22,9 +22,16 @@ from ..core.weights import logsumexp
 from ..data.sources import ObservationSet
 from ..seir.model import StochasticSEIRModel
 from ..seir.parameters import DiseaseParameters
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 
 __all__ = ["MCMCResult", "random_walk_metropolis"]
+
+# The chain's own purpose streams, registered well clear of the
+# calibrator's 0..3 block (values pinned by regression test).
+_PURPOSE_MCMC_CHAIN = register_ancillary_purpose(
+    "mcmc_chain", 20, description="proposal and initial-state draws")
+_PURPOSE_MCMC_BIAS = register_ancillary_purpose(
+    "mcmc_bias", 21, description="bias-model draws in likelihood estimates")
 
 
 @dataclass(frozen=True)
@@ -102,8 +109,8 @@ def random_walk_metropolis(observations: ObservationSet,
     step_sizes = dict(step_sizes or {})
 
     bank = SeedSequenceBank(base_seed)
-    rng = bank.ancillary_generator(20)
-    rng_bias = bank.ancillary_generator(21)
+    rng = bank.ancillary_generator(_PURPOSE_MCMC_CHAIN)
+    rng_bias = bank.ancillary_generator(_PURPOSE_MCMC_BIAS)
     seeds = bank.common_replicate_seeds(n_replicates)
     window_obs = observations.window(start_day, end_day)
 

@@ -25,9 +25,18 @@ from ..core.weights import normalize_log_weights
 from ..data.sources import ObservationSet
 from ..hpc.executor import Executor, SerialExecutor
 from ..seir.parameters import DiseaseParameters
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 
 __all__ = ["SingleShotResult", "single_shot_importance_sampling"]
+
+# One-shot IS mirrors the calibrator's first window, so it deliberately
+# draws from the *same* ancillary purpose streams.  Re-registering the
+# shared (name, tag) pairs is idempotent — and means that if the calibrator
+# ever re-keyed them, importing this module would raise instead of the two
+# methods silently diverging.
+_PURPOSE_PRIOR = register_ancillary_purpose("smc_prior", 0)
+_PURPOSE_BIAS = register_ancillary_purpose("smc_bias", 1)
+_PURPOSE_RESAMPLE = register_ancillary_purpose("smc_resample", 2)
 
 
 @dataclass(frozen=True)
@@ -73,9 +82,9 @@ def single_shot_importance_sampling(
     executor = executor or SerialExecutor()
     param_map = dict(param_map or {"theta": "transmission_rate"})
     bank = SeedSequenceBank(base_seed)
-    rng_prior = bank.ancillary_generator(0)
-    rng_bias = bank.ancillary_generator(1)
-    rng_resample = bank.ancillary_generator(2)
+    rng_prior = bank.ancillary_generator(_PURPOSE_PRIOR)
+    rng_bias = bank.ancillary_generator(_PURPOSE_BIAS)
+    rng_resample = bank.ancillary_generator(_PURPOSE_RESAMPLE)
 
     draws = prior.sample(n_parameter_draws, rng_prior)
     seeds = bank.common_replicate_seeds(n_replicates)

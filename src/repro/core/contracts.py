@@ -1,0 +1,197 @@
+"""Runtime shape/dtype contracts for batched hot paths.
+
+The batched engines and weight kernels pass large arrays whose axis
+conventions (members × compartments, members × days, flat particle vectors)
+live only in docstrings.  :func:`shaped` turns those conventions into
+checkable contracts::
+
+    @shaped(thetas="(n_members,) float", returns="(n_members, n_comp) int")
+    def _substep(self, thetas, dt): ...
+
+Contracts are **free in production**: activation is decided once, at
+decoration time, from the ``REPRO_CHECK_CONTRACTS`` environment variable.
+With the flag unset the decorator returns the function object unchanged —
+no wrapper frame, no per-call branch, bit-identical bytecode — so the
+default path pays nothing.  Run the suite as::
+
+    REPRO_CHECK_CONTRACTS=1 python -m pytest -x -q
+
+to execute every contract.
+
+Spec mini-language
+------------------
+A spec is ``"(dim, dim, ...)"`` optionally followed by a dtype word:
+
+* an integer dimension (``"(3,)"``) must match exactly;
+* ``_`` matches any size;
+* a name (``n_members``) must be consistent across *all* specs bound in
+  one call — parameters and return alike — so cross-argument agreement
+  (weights as long as values, one row per member) is part of the contract;
+* dtype words: ``int``/``float``/``bool``/``complex`` check the numpy
+  *kind* (``int32`` and ``int64`` both satisfy ``int``); anything else
+  (``int64``, ``float32``...) must match the exact dtype.
+
+``returns=`` takes one spec, or a tuple of specs for tuple returns (use
+``None`` to skip an element).  The functional form :func:`check_shaped`
+serves validation sites that are not function boundaries (e.g. dataclass
+``__post_init__``) and checks its flag live rather than at import.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["CONTRACTS_ENV", "ContractError", "check_shaped",
+           "contracts_active", "shaped"]
+
+#: Environment variable that switches contract checking on.
+CONTRACTS_ENV = "REPRO_CHECK_CONTRACTS"
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: dtype words checked by *kind* rather than exact dtype.
+_DTYPE_KINDS: dict[str, type] = {
+    "int": np.integer, "float": np.floating, "bool": np.bool_,
+    "complex": np.complexfloating,
+}
+
+_SPEC_RE = re.compile(r"^\(\s*(?P<dims>[^)]*)\)\s*(?P<dtype>\w+)?\s*$")
+
+
+class ContractError(ValueError):
+    """A value violated its declared shape/dtype contract.
+
+    Subclasses :class:`ValueError` so code (and tests) that treat bad
+    array inputs as value errors behave identically whether the contract
+    or the function's own validation trips first.
+    """
+
+
+def contracts_active() -> bool:
+    """True when ``REPRO_CHECK_CONTRACTS`` requests checking."""
+    return os.environ.get(CONTRACTS_ENV, "").strip().lower() not in (
+        "", "0", "false", "off", "no")
+
+
+@functools.lru_cache(maxsize=None)
+def _parse_spec(spec: str) -> tuple[tuple[str, ...], str | None]:
+    """``"(n, 3) int64"`` -> (("n", "3"), "int64")."""
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(f"malformed shape spec {spec!r}; expected "
+                         "'(dim, dim, ...) [dtype]'")
+    dims_text = match.group("dims").strip()
+    dims = tuple(d.strip() for d in dims_text.split(",") if d.strip()) \
+        if dims_text else ()
+    return dims, match.group("dtype")
+
+
+def _check_value(name: str, value: Any, spec: str,
+                 dims: dict[str, int], where: str) -> None:
+    expected_dims, dtype_word = _parse_spec(spec)
+    arr = np.asarray(value)
+    if arr.ndim != len(expected_dims):
+        raise ContractError(
+            f"{where}: {name} has shape {arr.shape} "
+            f"({arr.ndim}-d), contract requires {len(expected_dims)}-d "
+            f"{spec!r}")
+    for axis, (dim, size) in enumerate(zip(expected_dims, arr.shape)):
+        if dim == "_":
+            continue
+        if dim.lstrip("+-").isdigit():
+            if size != int(dim):
+                raise ContractError(
+                    f"{where}: {name} axis {axis} has size {size}, "
+                    f"contract pins it to {dim}")
+        else:
+            bound = dims.setdefault(dim, size)
+            if size != bound:
+                raise ContractError(
+                    f"{where}: {name} axis {axis} has size {size}, but "
+                    f"dimension {dim!r} was already bound to {bound} in "
+                    "this call")
+    if dtype_word is not None:
+        kind = _DTYPE_KINDS.get(dtype_word)
+        if kind is not None:
+            if not np.issubdtype(arr.dtype, kind):
+                raise ContractError(
+                    f"{where}: {name} has dtype {arr.dtype}, contract "
+                    f"requires kind {dtype_word!r}")
+        elif arr.dtype != np.dtype(dtype_word):
+            raise ContractError(
+                f"{where}: {name} has dtype {arr.dtype}, contract "
+                f"requires {dtype_word!r}")
+
+
+def check_shaped(value: Any, spec: str, *, name: str = "value",
+                 dims: dict[str, int] | None = None,
+                 where: str = "check_shaped") -> Any:
+    """Validate one value against a spec (no-op when the flag is off).
+
+    Pass a shared ``dims`` dict to tie named dimensions across several
+    calls (e.g. the fields of one dataclass).  Returns ``value`` so the
+    check can sit inline in an assignment.
+    """
+    if contracts_active():
+        _check_value(name, value, spec, {} if dims is None else dims, where)
+    return value
+
+
+def shaped(returns: str | Sequence[str | None] | None = None,
+           **param_specs: str) -> Callable[[_F], _F]:
+    """Declare shape/dtype contracts on a function's arrays.
+
+    When ``REPRO_CHECK_CONTRACTS`` is unset at import, the decorated
+    function is returned unchanged (zero overhead); otherwise every call
+    validates the named parameters and the return value, with named
+    dimensions bound consistently across all of them.
+    """
+    def decorate(fn: _F) -> _F:
+        if not contracts_active():
+            return fn
+        signature = inspect.signature(fn)
+        for param in param_specs:
+            if param not in signature.parameters:
+                raise ValueError(
+                    f"@shaped on {fn.__qualname__}: no parameter named "
+                    f"{param!r}")
+        where = fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            dims: dict[str, int] = {}
+            for param, spec in param_specs.items():
+                _check_value(param, bound.arguments[param], spec, dims,
+                             where)
+            result = fn(*args, **kwargs)
+            if returns is not None:
+                if isinstance(returns, str):
+                    _check_value("return", result, returns, dims, where)
+                else:
+                    _check_return_tuple(result, returns, dims, where)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def _check_return_tuple(result: Any, specs: Sequence[str | None],
+                        dims: dict[str, int], where: str) -> None:
+    if not isinstance(result, tuple) or len(result) != len(specs):
+        got = (f"{len(result)}-tuple" if isinstance(result, tuple)
+               else type(result).__name__)
+        raise ContractError(
+            f"{where}: return contract expects a {len(specs)}-tuple, "
+            f"got {got}")
+    for i, (item, spec) in enumerate(zip(result, specs)):
+        if spec is not None:
+            _check_value(f"return[{i}]", item, spec, dims, where)

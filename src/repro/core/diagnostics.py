@@ -10,6 +10,7 @@ human-readable health verdict used by examples and benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -123,8 +124,9 @@ class WindowDiagnostics:
 def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,
                         unique_ancestors: int, *,
                         particle_steps: int = 0,
-                        temper_schedule=(),
-                        temper_stage_ess=()) -> WindowDiagnostics:
+                        temper_schedule: Sequence[float] = (),
+                        temper_stage_ess: Sequence[float] = ()
+                        ) -> WindowDiagnostics:
     """Assemble diagnostics from a window's weight vectors."""
     lw = np.asarray(log_weights, dtype=np.float64)
     w = np.asarray(normalized, dtype=np.float64)

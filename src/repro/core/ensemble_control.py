@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Protocol, runtime_checkable
+from typing import Any, Mapping, Protocol, runtime_checkable
 
 from .diagnostics import WindowDiagnostics
 
@@ -212,7 +212,7 @@ class BudgetPolicy:
 SIZE_POLICY_NAMES = ("fixed", "ess", "budget")
 
 
-def make_size_policy(name: str, **options) -> EnsembleSizePolicy:
+def make_size_policy(name: str, **options: Any) -> EnsembleSizePolicy:
     """Build a policy from its declarative name and keyword options.
 
     ``"budget"`` accepts a nested ``base`` spec — either a policy instance

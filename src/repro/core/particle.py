@@ -10,7 +10,7 @@ window, and the trajectory history it has generated so far.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class ParticleEnsemble:
     def __len__(self) -> int:
         return len(self._particles)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Particle]:
         return iter(self._particles)
 
     def __getitem__(self, index: int) -> Particle:
@@ -120,7 +120,8 @@ class ParticleEnsemble:
     def weighted_mean(self, name: str) -> float:
         return weighted_mean(self.values(name), self.normalized_weights())
 
-    def weighted_quantile(self, name: str, q):
+    def weighted_quantile(self, name: str,
+                          q: float | np.ndarray) -> np.ndarray | float:
         return weighted_quantile(self.values(name), self.normalized_weights(), q)
 
     def credible_interval(self, name: str, level: float = 0.9) -> tuple[float, float]:
@@ -132,7 +133,7 @@ class ParticleEnsemble:
         return float(lo), float(hi)
 
     # ------------------------------------------------------------------ #
-    def select(self, indices) -> "ParticleEnsemble":
+    def select(self, indices: Sequence[int] | np.ndarray) -> "ParticleEnsemble":
         """Sub-ensemble by ancestor indices (weights reset to uniform).
 
         This is the post-resampling constructor: resampled particles are

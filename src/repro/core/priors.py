@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Mapping
 
 import numpy as np
+import numpy.typing as npt
 from scipy import stats
 
 __all__ = ["Distribution", "Uniform", "Beta", "LogNormal", "TruncatedNormal",
@@ -32,7 +33,7 @@ class Distribution(ABC):
         """Draw ``n`` IID samples."""
 
     @abstractmethod
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         """Elementwise log-density (``-inf`` outside the support)."""
 
     @property
@@ -40,7 +41,7 @@ class Distribution(ABC):
     def support(self) -> tuple[float, float]:
         """Closed support bounds ``(low, high)`` (may be infinite)."""
 
-    def contains(self, x) -> np.ndarray:
+    def contains(self, x: npt.ArrayLike) -> np.ndarray:
         """Elementwise support membership."""
         lo, hi = self.support
         arr = np.asarray(x, dtype=np.float64)
@@ -63,7 +64,7 @@ class Uniform(Distribution):
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.uniform(self.low, self.high, size=n)
 
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(x, dtype=np.float64)
         out = np.full(arr.shape, -np.inf)
         inside = (arr >= self.low) & (arr <= self.high)
@@ -93,7 +94,7 @@ class Beta(Distribution):
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.beta(self.a, self.b, size=n)
 
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(x, dtype=np.float64)
         return np.asarray(stats.beta.logpdf(arr, self.a, self.b))
 
@@ -120,7 +121,7 @@ class LogNormal(Distribution):
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.lognormal(self.mu, self.sigma, size=n)
 
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(x, dtype=np.float64)
         return np.asarray(stats.lognorm.logpdf(arr, s=self.sigma,
                                                scale=np.exp(self.mu)))
@@ -153,7 +154,7 @@ class TruncatedNormal(Distribution):
         frozen = stats.truncnorm(self._a, self._b, loc=self.mu, scale=self.sigma)
         return np.asarray(frozen.rvs(size=n, random_state=rng))
 
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(x, dtype=np.float64)
         return np.asarray(stats.truncnorm.logpdf(arr, self._a, self._b,
                                                  loc=self.mu, scale=self.sigma))
@@ -180,7 +181,7 @@ class Dirac(Distribution):
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return np.full(n, self.value)
 
-    def logpdf(self, x) -> np.ndarray:
+    def logpdf(self, x: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(x, dtype=np.float64)
         return np.where(arr == self.value, 0.0, -np.inf)
 

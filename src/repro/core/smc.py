@@ -112,7 +112,7 @@ from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
                           StochasticSEIRModel)
 from ..seir.outputs import Trajectory
 from ..seir.parameters import DiseaseParameters, ParameterOverride
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 from .adaptive import temper_and_resample
 from .diagnostics import (DEGENERACY_THRESHOLD, WindowDiagnostics,
                           compute_diagnostics)
@@ -135,11 +135,17 @@ BIAS_PARAM = "rho"
 #: Default mapping from prior parameter names to DiseaseParameters fields.
 DEFAULT_PARAM_MAP: dict[str, str] = {"theta": "transmission_rate"}
 
-# RNG stream purposes (see SeedSequenceBank.ancillary_generator).
-_PURPOSE_PRIOR = 0
-_PURPOSE_BIAS = 1
-_PURPOSE_RESAMPLE = 2
-_PURPOSE_JITTER = 3
+# RNG stream purposes (see SeedSequenceBank.ancillary_generator).  Each is
+# registered in the stream-domain registry, which raises at import time if a
+# purpose value is ever reused by another consumer.
+_PURPOSE_PRIOR = register_ancillary_purpose(
+    "smc_prior", 0, description="first-window prior sampling")
+_PURPOSE_BIAS = register_ancillary_purpose(
+    "smc_bias", 1, description="per-window reporting-bias thinning")
+_PURPOSE_RESAMPLE = register_ancillary_purpose(
+    "smc_resample", 2, description="per-window resampling / tempered bridge")
+_PURPOSE_JITTER = register_ancillary_purpose(
+    "smc_jitter", 3, description="per-window proposal jitter")
 
 
 @dataclass(frozen=True)

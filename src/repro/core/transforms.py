@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["Transform", "SQRT", "LOG1P", "IDENTITY", "ANSCOMBE",
            "get_transform", "TRANSFORMS"]
@@ -27,13 +28,13 @@ class Transform:
         self._forward = forward
         self._inverse = inverse
 
-    def __call__(self, values) -> np.ndarray:
+    def __call__(self, values: npt.ArrayLike) -> np.ndarray:
         arr = np.asarray(values, dtype=np.float64)
         if np.any(arr < 0):
             raise ValueError(f"{self.name} transform requires non-negative counts")
         return self._forward(arr)
 
-    def inverse(self, values) -> np.ndarray:
+    def inverse(self, values: npt.ArrayLike) -> np.ndarray:
         return self._inverse(np.asarray(values, dtype=np.float64))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,7 +45,7 @@ class Executor(ABC):
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -10,6 +10,7 @@ event counts scale with prevalence).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["block_partition", "cyclic_partition", "chunk_sizes",
            "lpt_partition", "partition_bounds", "shard_bounds"]
@@ -97,7 +98,7 @@ def cyclic_partition(n_items: int, n_parts: int) -> list[np.ndarray]:
     return [np.arange(p, n_items, n_parts) for p in range(n_parts)]
 
 
-def lpt_partition(costs, n_parts: int) -> list[np.ndarray]:
+def lpt_partition(costs: npt.ArrayLike, n_parts: int) -> list[np.ndarray]:
     """Longest-processing-time-first assignment by estimated task cost.
 
     Greedy 4/3-approximate makespan minimisation: sort tasks by decreasing

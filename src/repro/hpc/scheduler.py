@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from .partition import block_partition, cyclic_partition
 
@@ -56,7 +57,7 @@ class ScheduleResult:
         return 1.0 / self.imbalance if self.imbalance > 0 else 0.0
 
 
-def _validate_costs(costs) -> np.ndarray:
+def _validate_costs(costs: npt.ArrayLike) -> np.ndarray:
     arr = np.asarray(costs, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError("costs must be 1-d")
@@ -65,7 +66,7 @@ def _validate_costs(costs) -> np.ndarray:
     return arr
 
 
-def simulate_static(costs, n_workers: int, policy: str = "block") -> ScheduleResult:
+def simulate_static(costs: npt.ArrayLike, n_workers: int, policy: str = "block") -> ScheduleResult:
     """Execute a static partition and account worker finish times."""
     arr = _validate_costs(costs)
     if n_workers < 1:
@@ -82,7 +83,7 @@ def simulate_static(costs, n_workers: int, policy: str = "block") -> ScheduleRes
     return ScheduleResult(makespan, finish, assignments)
 
 
-def simulate_work_stealing(costs, n_workers: int, *,
+def simulate_work_stealing(costs: npt.ArrayLike, n_workers: int, *,
                            chunk: int = 1) -> ScheduleResult:
     """Simulate a shared-queue dynamic scheduler (greedy list scheduling).
 
@@ -112,7 +113,7 @@ def simulate_work_stealing(costs, n_workers: int, *,
                           tuple(tuple(a) for a in assignments))
 
 
-def compare_policies(costs, n_workers: int, *,
+def compare_policies(costs: npt.ArrayLike, n_workers: int, *,
                      steal_chunk: int = 1) -> dict[str, ScheduleResult]:
     """Run all scheduling policies on one task set.
 

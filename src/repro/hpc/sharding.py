@@ -34,10 +34,11 @@ Design contract
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..core.contracts import check_shaped
 from ..seir.batch_engine import BatchTrajectory, leap_particle_snapshot
 from ..seir.checkpoint import StackedLeapState, stack_leap_snapshots
 from ..seir.model import batch_engine_class
@@ -137,6 +138,14 @@ class ShardTask:
     def __post_init__(self) -> None:
         if (self.start_day is None) == (self.state is None):
             raise ValueError("exactly one of start_day/state must be set")
+        # Shared `dims` ties the two vectors to one member count; live
+        # check (not decoration-time) because tasks are built on workers
+        # that may inherit a different environment than the importer.
+        dims: dict[str, int] = {}
+        check_shaped(self.seeds, "(n_members,) int64", name="seeds",
+                     dims=dims, where="ShardTask")
+        check_shaped(self.thetas, "(n_members,) float64", name="thetas",
+                     dims=dims, where="ShardTask")
 
 
 @dataclass(frozen=True)
@@ -218,9 +227,11 @@ def dispatch_shards(executor: Executor,
 # Group-level front door
 # --------------------------------------------------------------------------- #
 def build_group_specs(groups: Sequence[Sequence[int]],
-                      params_list, seeds, *,
+                      params_list: Sequence[DiseaseParameters],
+                      seeds: Sequence[int], *,
                       start_day: int | None = None,
-                      snapshots=None) -> list["GroupSpec"]:
+                      snapshots: Sequence[dict] | None = None
+                      ) -> list["GroupSpec"]:
     """One :class:`GroupSpec` per structural group over parallel arrays.
 
     ``groups`` is :func:`structural_groups` output over ``params_list``;
@@ -267,7 +278,7 @@ class GroupShards:
     bounds: list[tuple[int, int]]
     results: list[ShardResult]
 
-    def member_items(self):
+    def member_items(self) -> Iterator[tuple[int, ShardResult, int]]:
         """Yield ``(member_index_within_group, shard_result, row)`` in order."""
         for (lo, hi), result in zip(self.bounds, self.results):
             for j in range(hi - lo):

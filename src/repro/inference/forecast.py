@@ -35,11 +35,16 @@ from ..hpc.executor import Executor, SerialExecutor
 from ..hpc.sharding import (build_group_specs, resolve_shard_layout,
                             simulate_groups, structural_groups)
 from ..seir.outputs import Trajectory
-from ..seir.seeding import mix_seed
+from ..seir.seeding import mix_seed, register_stream_tag
 
 __all__ = ["Forecast", "forecast_from_posterior"]
 
-_FORECAST_STREAM = 9100
+# Forecast continuation seeds occupy their own registered bank stream: the
+# registry raises at import time if another consumer ever claims tag 9100,
+# and the tag rides in ``mix_seed``'s reserved position right after the base
+# seed so forecast seeds can never alias the calibrator's window streams.
+_FORECAST_STREAM = register_stream_tag(
+    "forecast", 9100, description="posterior-predictive continuation seeds")
 
 #: Engine advancing stacked forecast shards (per-particle checkpoints are
 #: stored in this engine family's scalar snapshot format).

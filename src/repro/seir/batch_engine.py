@@ -67,15 +67,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.contracts import shaped
 from ..data.schedule import PiecewiseConstant
 from .checkpoint import Checkpoint, StackedLeapState, stack_leap_snapshots
 from .compartments import (Compartment, HOSPITAL_COMPARTMENTS,
                            ICU_COMPARTMENTS, N_COMPARTMENTS)
 from .outputs import Trajectory
 from .parameters import DiseaseParameters
-from .seeding import batch_generator_for, generator_for
-from .tauleap import (_rng_from_jsonable, _rng_state_to_jsonable,
-                      compiled_transitions_for)
+from .seeding import (batch_generator_for, generator_for,
+                      rng_from_jsonable, rng_state_to_jsonable)
+from .tauleap import compiled_transitions_for
 
 __all__ = ["BatchedBinomialLeapEngine", "BatchTrajectory",
            "leap_particle_snapshot"]
@@ -104,7 +105,7 @@ def leap_particle_snapshot(day: int, counts_row, cum_infections: int,
         "cum_deaths": int(cum_deaths),
         "steps_per_day": int(steps_per_day),
         "seed": int(seed),
-        "rng_state": _rng_state_to_jsonable(generator_for(int(seed))),
+        "rng_state": rng_state_to_jsonable(generator_for(int(seed))),
     }
 _HOSP_COLS = np.array([int(c) for c in HOSPITAL_COMPARTMENTS], dtype=np.int64)
 _ICU_COLS = np.array([int(c) for c in ICU_COMPARTMENTS], dtype=np.int64)
@@ -144,6 +145,7 @@ class BatchTrajectory:
     def end_day(self) -> int:
         return self.start_day + self.n_days
 
+    @shaped(returns="(n_particles, n_days) float64")
     def channel_matrix(self, channel: str) -> np.ndarray:
         """The named channel's ``(n_particles, n_days)`` matrix (no copy)."""
         from ..data.sources import CASES, DEATHS, HOSPITAL_CENSUS, ICU_CENSUS
@@ -294,6 +296,8 @@ class BatchedBinomialLeapEngine:
             return self._thetas
         return np.full(self.n_particles, float(self.theta_schedule(self._day)))
 
+    @shaped(thetas="(n_members,) float64",
+            returns=("(n_members,) int", "(n_members,) int"))
     def _substep(self, thetas: np.ndarray, dt: float
                  ) -> tuple[np.ndarray, np.ndarray]:
         """Advance one substep; return per-member (new_infections, new_deaths)."""
@@ -344,6 +348,7 @@ class BatchedBinomialLeapEngine:
         counts += delta
         return new_e, new_deaths
 
+    @shaped(returns=("(n_members,) int64", "(n_members,) int64"))
     def step_day(self) -> tuple[np.ndarray, np.ndarray]:
         """Simulate one day; return per-member (new_infections, new_deaths)."""
         thetas = self._day_thetas()
@@ -391,7 +396,7 @@ class BatchedBinomialLeapEngine:
             "steps_per_day": self.steps_per_day,
             "seeds": self.seeds.tolist(),
             "thetas": self._thetas.tolist(),
-            "rng_state": _rng_state_to_jsonable(self._rng),
+            "rng_state": rng_state_to_jsonable(self._rng),
         }
 
     @classmethod
@@ -420,7 +425,7 @@ class BatchedBinomialLeapEngine:
         n = stored_seeds.size
         if seeds is None:
             engine.seeds = stored_seeds
-            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+            engine._rng = rng_from_jsonable(snapshot["rng_state"])
         else:
             engine.seeds = np.array(seeds, dtype=np.int64)
             if engine.seeds.shape != (n,):

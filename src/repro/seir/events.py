@@ -25,10 +25,9 @@ from ..data.schedule import PiecewiseConstant
 from .compartments import Compartment, N_COMPARTMENTS
 from .outputs import Trajectory, TrajectoryBuilder
 from .parameters import DiseaseParameters
-from .seeding import generator_for
-from .tauleap import (CompiledTransitions, _rng_from_jsonable,
-                      _rng_state_to_jsonable, _theta_function,
-                      compiled_transitions_for)
+from .seeding import (generator_for, rng_from_jsonable,
+                      rng_state_to_jsonable)
+from .tauleap import _theta_function, compiled_transitions_for
 
 __all__ = ["EventDrivenEngine", "ScheduledEvent"]
 
@@ -217,7 +216,7 @@ class EventDrivenEngine:
             "cum_infections": int(self._cum_infections),
             "cum_deaths": int(self._cum_deaths),
             "seed": self.seed,
-            "rng_state": _rng_state_to_jsonable(self._rng),
+            "rng_state": rng_state_to_jsonable(self._rng),
             "event_seq": self._event_seq,
             "pending_events": [list(ev) for ev in sorted(self._events)],
             "infection_slices_per_day": self.infection_slices_per_day,
@@ -246,5 +245,5 @@ class EventDrivenEngine:
             engine._rng = generator_for(int(seed))
         else:
             engine.seed = int(snapshot["seed"])
-            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+            engine._rng = rng_from_jsonable(snapshot["rng_state"])
         return engine

@@ -21,10 +21,9 @@ from ..data.schedule import PiecewiseConstant
 from .compartments import Compartment, N_COMPARTMENTS
 from .outputs import Trajectory, TrajectoryBuilder
 from .parameters import DiseaseParameters
-from .seeding import generator_for
-from .tauleap import (CompiledTransitions, _rng_from_jsonable,
-                      _rng_state_to_jsonable, _theta_function,
-                      compiled_transitions_for)
+from .seeding import (generator_for, rng_from_jsonable,
+                      rng_state_to_jsonable)
+from .tauleap import _theta_function, compiled_transitions_for
 
 __all__ = ["GillespieEngine"]
 
@@ -162,7 +161,7 @@ class GillespieEngine:
             "cum_infections": int(self._cum_infections),
             "cum_deaths": int(self._cum_deaths),
             "seed": self.seed,
-            "rng_state": _rng_state_to_jsonable(self._rng),
+            "rng_state": rng_state_to_jsonable(self._rng),
         }
 
     @classmethod
@@ -185,5 +184,5 @@ class GillespieEngine:
             engine._rng = generator_for(int(seed))
         else:
             engine.seed = int(snapshot["seed"])
-            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+            engine._rng = rng_from_jsonable(snapshot["rng_state"])
         return engine

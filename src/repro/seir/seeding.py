@@ -14,16 +14,132 @@ comparison.
 * a reproducible common seed set shared by all parameter draws, and
 * independent child streams for ancillary randomness (priors, thinning)
   that must not collide with simulation streams.
+
+This module is the repo's **only** RNG construction site: every generator,
+seed sequence, and serialised RNG state flows through the functions here, a
+confinement the static analysis pass (:mod:`repro.analysis`) enforces on
+every push.  Stream tags live in the :data:`STREAM_DOMAINS` registry, which
+rejects duplicate tags at import time — the PR 5
+``window_restart_seed``/``window_draw_seed`` aliasing bug class cannot
+silently return.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
+import numpy.typing
 
 __all__ = ["SeedSequenceBank", "generator_for", "batch_generator_for",
-           "mix_seed"]
+           "mix_seed", "StreamDomain", "StreamDomainRegistry",
+           "STREAM_DOMAINS", "register_stream_tag",
+           "register_ancillary_purpose", "rng_state_to_jsonable",
+           "rng_from_jsonable"]
+
+
+# --------------------------------------------------------------------------- #
+# Stream-domain registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamDomain:
+    """One named, registered seed-stream tag.
+
+    ``domain`` separates the two tag namespaces in use: ``"bank"`` for the
+    top-level tags that key ``SeedSequence`` spawn/entropy domains and the
+    reserved ``mix_seed`` method position, ``"ancillary"`` for the purpose
+    sub-tags under :meth:`SeedSequenceBank.ancillary_generator`.
+    """
+
+    name: str
+    tag: int
+    domain: str = "bank"
+    description: str = ""
+
+
+@dataclass
+class StreamDomainRegistry:
+    """Import-time uniqueness guard over every seed-stream tag.
+
+    Each random draw in the codebase lives in a documented seed domain; two
+    domains sharing one tag silently alias their streams (the shape of the
+    PR 5 ``window_restart_seed``/``window_draw_seed`` bug).  Registration
+    happens at module import, so a clashing tag — or an unnamed integer
+    literal, which the lint pass rejects — fails the process before any
+    draw is made.
+    """
+
+    _by_key: dict[tuple[str, int], StreamDomain] = field(default_factory=dict)
+    _by_name: dict[tuple[str, str], StreamDomain] = field(default_factory=dict)
+
+    def register(self, name: str, tag: int, *, domain: str = "bank",
+                 description: str = "") -> int:
+        """Register ``name -> tag`` in ``domain``; return the tag.
+
+        Raises
+        ------
+        ValueError
+            If the tag is already taken by another name in the same domain,
+            or the name is already registered (re-registering the *same*
+            ``(name, tag)`` pair is idempotent, so module reloads survive).
+        """
+        entry = StreamDomain(name=str(name), tag=int(tag), domain=str(domain),
+                             description=description)
+        key = (entry.domain, entry.tag)
+        existing = self._by_key.get(key)
+        if existing is not None and existing.name != entry.name:
+            raise ValueError(
+                f"stream tag {entry.tag} in domain {entry.domain!r} is "
+                f"already registered as {existing.name!r}; cannot register "
+                f"it again as {entry.name!r} — two names on one tag alias "
+                f"their seed streams")
+        named = self._by_name.get((entry.domain, entry.name))
+        if named is not None and named.tag != entry.tag:
+            raise ValueError(
+                f"stream {entry.name!r} in domain {entry.domain!r} is "
+                f"already registered with tag {named.tag}; cannot rebind it "
+                f"to {entry.tag}")
+        self._by_key[key] = entry
+        self._by_name[(entry.domain, entry.name)] = entry
+        return entry.tag
+
+    def domains(self) -> tuple[StreamDomain, ...]:
+        """Every registered stream, ordered by (domain, tag)."""
+        return tuple(sorted(self._by_key.values(),
+                            key=lambda d: (d.domain, d.tag)))
+
+    def tags(self, domain: str = "bank") -> dict[str, int]:
+        """``name -> tag`` mapping of one domain."""
+        return {d.name: d.tag for d in self._by_key.values()
+                if d.domain == domain}
+
+    def lookup(self, name: str, domain: str = "bank") -> StreamDomain:
+        entry = self._by_name.get((domain, name))
+        if entry is None:
+            raise KeyError(f"no stream {name!r} registered in domain "
+                           f"{domain!r}")
+        return entry
+
+
+#: The process-wide registry.  Modules owning a stream register it at import
+#: time next to the constant that names it; the lint pass requires every tag
+#: fed to :func:`mix_seed` / ``ancillary_generator`` to be such a constant.
+STREAM_DOMAINS = StreamDomainRegistry()
+
+
+def register_stream_tag(name: str, tag: int, *, description: str = "") -> int:
+    """Register a top-level bank stream tag (spawn/entropy/``mix_seed``)."""
+    return STREAM_DOMAINS.register(name, tag, domain="bank",
+                                   description=description)
+
+
+def register_ancillary_purpose(name: str, purpose: int, *,
+                               description: str = "") -> int:
+    """Register an ancillary purpose sub-tag (see ``ancillary_generator``)."""
+    return STREAM_DOMAINS.register(name, purpose, domain="ancillary",
+                                   description=description)
+
 
 # Stream tags.  The first three key ``SeedSequence`` spawn/entropy domains;
 # the ``mix_seed``-based methods below additionally reserve the component
@@ -31,12 +147,18 @@ __all__ = ["SeedSequenceBank", "generator_for", "batch_generator_for",
 # methods can ever reach the same ``mix_seed`` argument tuple whatever their
 # caller-supplied components are (a ``window_restart_seed`` call whose
 # ``original_seed`` happens to equal another method's tag used to alias that
-# method's seeds exactly).
-_SIMULATION_STREAM = 0
-_ANCILLARY_STREAM = 1
-_BATCH_STREAM = 2
-_WINDOW_DRAW_STREAM = 3
-_WINDOW_RESTART_STREAM = 4
+# method's seeds exactly).  Tag values are pinned by regression tests —
+# changing one silently re-keys every stream it feeds.
+_SIMULATION_STREAM = register_stream_tag(
+    "simulation", 0, description="common replicate seed set (spawn key)")
+_ANCILLARY_STREAM = register_stream_tag(
+    "ancillary", 1, description="ancillary purpose streams (spawn key)")
+_BATCH_STREAM = register_stream_tag(
+    "batch", 2, description="batched whole-ensemble streams (entropy lead)")
+_WINDOW_DRAW_STREAM = register_stream_tag(
+    "window_draw", 3, description="per-(window, draw) restart seeds")
+_WINDOW_RESTART_STREAM = register_stream_tag(
+    "window_restart", 4, description="per-(window, particle) restart seeds")
 
 
 def generator_for(seed: int) -> np.random.Generator:
@@ -49,7 +171,7 @@ def generator_for(seed: int) -> np.random.Generator:
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(int(seed))))
 
 
-def batch_generator_for(seeds) -> np.random.Generator:
+def batch_generator_for(seeds: np.typing.ArrayLike) -> np.random.Generator:
     """One shared stream for a whole ensemble, keyed by the seed *vector*.
 
     The batched simulation engine advances every ensemble member from a
@@ -139,7 +261,8 @@ class SeedSequenceBank:
         ss = np.random.SeedSequence(self.base_seed, spawn_key=key)
         return np.random.Generator(np.random.PCG64(ss))
 
-    def batch_simulation_generator(self, seeds) -> np.random.Generator:
+    def batch_simulation_generator(
+            self, seeds: np.typing.ArrayLike) -> np.random.Generator:
         """The batch-engine stream for an ordered ensemble seed vector.
 
         Thin, discoverable front door to :func:`batch_generator_for`: the
@@ -151,7 +274,10 @@ class SeedSequenceBank:
         """
         return batch_generator_for(seeds)
 
-    def shard_simulation_generators(self, seeds, bounds) -> list[np.random.Generator]:
+    def shard_simulation_generators(
+            self, seeds: np.typing.ArrayLike,
+            bounds: Sequence[tuple[int, int]]
+    ) -> list[np.random.Generator]:
         """Per-shard batch streams for a sharded ensemble seed vector.
 
         The sharded-dispatch RNG contract: shard ``k`` covering the
@@ -212,3 +338,36 @@ class SeedSequenceBank:
             raise ValueError("window_index and draw_index must be >= 0")
         return mix_seed(self.base_seed, _WINDOW_DRAW_STREAM, window_index,
                         draw_index)
+
+
+# --------------------------------------------------------------------------- #
+# RNG state (de)serialisation shared by all engines.
+#
+# These live here — not with the engines — because reconstructing a
+# mid-stream generator is RNG construction, and this module is the only
+# place allowed to construct RNG state (enforced by repro.analysis).
+# --------------------------------------------------------------------------- #
+def rng_state_to_jsonable(rng: np.random.Generator) -> dict:
+    """Extract the bit-generator state as JSON-safe plain types."""
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {k: int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state.get("has_uint32", 0)),
+        "uinteger": int(state.get("uinteger", 0)),
+    }
+
+
+def rng_from_jsonable(payload: dict) -> np.random.Generator:
+    """Reconstruct a generator mid-stream from its serialised state."""
+    name = payload["bit_generator"]
+    if name != "PCG64":
+        raise ValueError(f"unsupported bit generator {name!r}")
+    bg = np.random.PCG64()
+    bg.state = {
+        "bit_generator": name,
+        "state": {k: int(v) for k, v in payload["state"].items()},
+        "has_uint32": int(payload.get("has_uint32", 0)),
+        "uinteger": int(payload.get("uinteger", 0)),
+    }
+    return np.random.Generator(bg)

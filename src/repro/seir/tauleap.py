@@ -51,7 +51,8 @@ from .compartments import (Compartment, N_COMPARTMENTS, build_transitions,
                            infectiousness_weights)
 from .outputs import Trajectory, TrajectoryBuilder
 from .parameters import DiseaseParameters
-from .seeding import generator_for
+from .seeding import (generator_for, rng_from_jsonable,
+                      rng_state_to_jsonable)
 
 __all__ = ["BinomialLeapEngine", "CompiledTransitions",
            "compiled_transitions_for", "transition_table_key"]
@@ -329,7 +330,7 @@ class BinomialLeapEngine:
             "cum_deaths": int(self._cum_deaths),
             "steps_per_day": self.steps_per_day,
             "seed": self.seed,
-            "rng_state": _rng_state_to_jsonable(self._rng),
+            "rng_state": rng_state_to_jsonable(self._rng),
         }
 
     @classmethod
@@ -360,34 +361,14 @@ class BinomialLeapEngine:
             engine._rng = generator_for(int(seed))
         else:
             engine.seed = int(snapshot["seed"])
-            engine._rng = _rng_from_jsonable(snapshot["rng_state"])
+            engine._rng = rng_from_jsonable(snapshot["rng_state"])
         return engine
 
 
 # --------------------------------------------------------------------------- #
-# RNG state (de)serialisation helpers shared by all engines.
+# RNG state (de)serialisation now lives in :mod:`repro.seir.seeding` (the
+# only module allowed to construct RNG state); the old underscore names stay
+# importable for the other engine modules and any external snapshot tooling.
 # --------------------------------------------------------------------------- #
-def _rng_state_to_jsonable(rng: np.random.Generator) -> dict:
-    """Extract the bit-generator state as JSON-safe plain types."""
-    state = rng.bit_generator.state
-    return {
-        "bit_generator": state["bit_generator"],
-        "state": {k: int(v) for k, v in state["state"].items()},
-        "has_uint32": int(state.get("has_uint32", 0)),
-        "uinteger": int(state.get("uinteger", 0)),
-    }
-
-
-def _rng_from_jsonable(payload: dict) -> np.random.Generator:
-    """Reconstruct a generator mid-stream from its serialised state."""
-    name = payload["bit_generator"]
-    if name != "PCG64":
-        raise ValueError(f"unsupported bit generator {name!r}")
-    bg = np.random.PCG64()
-    bg.state = {
-        "bit_generator": name,
-        "state": {k: int(v) for k, v in payload["state"].items()},
-        "has_uint32": int(payload.get("has_uint32", 0)),
-        "uinteger": int(payload.get("uinteger", 0)),
-    }
-    return np.random.Generator(bg)
+_rng_state_to_jsonable = rng_state_to_jsonable
+_rng_from_jsonable = rng_from_jsonable

@@ -3,8 +3,8 @@
 Used by the baselines (single-shot importance sampling, ABC, MCMC burn-in
 pools) and the scaling benches.  The SMC driver has its own task plumbing in
 :mod:`repro.core.smc`; this module provides the general-purpose version with
-the same picklability discipline (module-level task function, plain-dict
-payloads).
+the same picklability discipline (module-level task function over a declared
+dataclass payload — the shape the executor-hygiene lint enforces).
 """
 
 from __future__ import annotations
@@ -83,12 +83,22 @@ class EnsembleResult:
         return out
 
 
-def _run_member_task(task: tuple) -> Trajectory:
-    params_payload, seed, end_day, engine, engine_options = task
-    params = DiseaseParameters.from_dict(params_payload)
-    model = StochasticSEIRModel(params, seed, engine=engine,
-                                **dict(engine_options))
-    return model.run_until(end_day)
+@dataclass(frozen=True)
+class _MemberTask:
+    """One sweep member's executor payload (picklable, schema declared)."""
+
+    params_payload: dict
+    seed: int
+    end_day: int
+    engine: str
+    engine_options: dict
+
+
+def _run_member_task(task: _MemberTask) -> Trajectory:
+    params = DiseaseParameters.from_dict(task.params_payload)
+    model = StochasticSEIRModel(params, task.seed, engine=task.engine,
+                                **task.engine_options)
+    return model.run_until(task.end_day)
 
 
 def run_ensemble(spec: EnsembleSpec,
@@ -100,7 +110,9 @@ def run_ensemble(spec: EnsembleSpec,
     for updates in spec.param_updates:
         payload = spec.base_params.with_updates(**updates).to_dict()
         for seed in spec.seeds:
-            tasks.append((payload, int(seed), spec.end_day, spec.engine, options))
+            tasks.append(_MemberTask(params_payload=payload, seed=int(seed),
+                                     end_day=spec.end_day, engine=spec.engine,
+                                     engine_options=options))
     trajectories = executor.map(_run_member_task, tasks)
     return EnsembleResult(spec=spec, trajectories=tuple(trajectories))
 

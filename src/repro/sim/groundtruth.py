@@ -24,11 +24,18 @@ from ..data.synthetic import binomial_thin
 from ..seir.model import StochasticSEIRModel
 from ..seir.outputs import Trajectory
 from ..seir.parameters import DiseaseParameters, chicago_defaults
-from ..seir.seeding import SeedSequenceBank
+from ..seir.seeding import SeedSequenceBank, register_ancillary_purpose
 
 __all__ = ["GroundTruth", "make_ground_truth", "make_fig2_ground_truth"]
 
 _DEFAULT_SEED = 777
+
+# Observation thinning draws from its own registered ancillary purpose so the
+# truth trajectory is identical whether or not observations are generated
+# (value pinned by regression test; 10 leaves 4..9 free for calibrator-side
+# consumers, which allocate upward from 0).
+_PURPOSE_TRUTH_THIN = register_ancillary_purpose(
+    "groundtruth_thinning", 10, description="truth-observation binomial thinning")
 
 
 @dataclass(frozen=True)
@@ -105,7 +112,8 @@ def make_ground_truth(params: DiseaseParameters | None = None,
     trajectory = model.run_until(horizon)
     # Thinning uses a stream independent of the simulation stream so the
     # truth trajectory is identical whether or not observations are drawn.
-    rng_thin = SeedSequenceBank(seed).ancillary_generator(purpose=10)
+    rng_thin = SeedSequenceBank(seed).ancillary_generator(
+        purpose=_PURPOSE_TRUTH_THIN)
     observed = binomial_thin(trajectory.series(CASES), rho_schedule, rng_thin)
     return GroundTruth(params=base, theta_schedule=theta_schedule,
                        rho_schedule=rho_schedule, trajectory=trajectory,

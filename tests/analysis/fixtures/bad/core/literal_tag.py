@@ -1,0 +1,36 @@
+"""Fixture reproducing the PR 5 bug shape: integer-literal and
+unregistered stream tags.  ``window_restart_seed``/``window_draw_seed``
+aliased because their tags were bare integers nothing checked; every tag
+use below must trip REPRO102, and the bare-assigned constant REPRO103."""
+
+from repro.seir.seeding import SeedSequenceBank, mix_seed
+
+# REPRO103: a stream constant assigned without registration — exactly how
+# the aliasing bug survived review.
+_WINDOW_DRAW_STREAM = 3
+_PURPOSE_LOCAL = 7
+
+
+def draw_seed(base_seed: int, window_index: int) -> int:
+    # REPRO102: literal tag in the reserved position.
+    return mix_seed(base_seed, 3, window_index)
+
+
+def restart_seed(base_seed: int, window_index: int) -> int:
+    # REPRO102: named, but the constant was never registered.
+    return mix_seed(base_seed, _WINDOW_DRAW_STREAM, window_index)
+
+
+def tagless(base_seed: int) -> int:
+    # REPRO102: no stream tag at all.
+    return mix_seed(base_seed)
+
+
+def thinning_rng(bank: SeedSequenceBank) -> object:
+    # REPRO102: literal ancillary purpose.
+    return bank.ancillary_generator(10)
+
+
+def local_purpose_rng(bank: SeedSequenceBank) -> object:
+    # REPRO102: unregistered purpose constant.
+    return bank.ancillary_generator(purpose=_PURPOSE_LOCAL)

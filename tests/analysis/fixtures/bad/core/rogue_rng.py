@@ -1,0 +1,30 @@
+"""Fixture reproducing the PR 1 bug shape: RNG construction outside the
+seed bank.  The original defect reused a cross-window ancillary stream by
+building a private generator instead of asking the bank for a purposed one.
+Every construction path below must trip REPRO101."""
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+import random
+
+from numpy import random as np_random
+
+
+def private_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def private_seed_sequence(seed: int) -> SeedSequence:
+    return np.random.SeedSequence(seed)
+
+
+def aliased_generator(seed: int) -> np.random.Generator:
+    return default_rng(seed)
+
+
+def module_aliased(seed: int) -> np.random.Generator:
+    return np_random.default_rng(seed)
+
+
+def stdlib_draw() -> float:
+    return random.random()

@@ -1,0 +1,22 @@
+"""Fixture: incomplete signature annotations in a typed-core path
+(REPRO401)."""
+
+
+def missing_everything(values, weights):
+    return sum(values) + sum(weights)
+
+
+def missing_return(values: list):
+    del values
+
+
+def annotated(values: list) -> int:
+    return len(values)
+
+
+class Holder:
+    def method_missing_arg(self, q) -> float:
+        return float(q)
+
+    def fine(self, q: float) -> float:
+        return q

@@ -1,0 +1,32 @@
+"""Fixture: determinism hazards inside a deterministic subsystem —
+wall-clock reads (REPRO201) and arrays built from unordered sets
+(REPRO202)."""
+
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_run() -> float:
+    return time.time()
+
+
+def stamp_run_iso() -> str:
+    return datetime.now().isoformat()
+
+
+def seeds_from_set(raw: list) -> np.ndarray:
+    return np.fromiter(set(raw), dtype=np.int64)
+
+
+def iterate_unsorted(names: list) -> list:
+    out = []
+    for name in {n for n in names}:
+        out.append(name)
+    return out
+
+
+def sorted_is_fine(seed_pool: set) -> np.ndarray:
+    # Not a violation: sorted() fixes the order before the array is built.
+    return np.array(sorted(seed_pool))

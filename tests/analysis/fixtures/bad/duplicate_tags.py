@@ -1,0 +1,8 @@
+"""Fixture: two registrations claiming one (domain, tag) for different
+stream names — the aliasing the import-time registry guard rejects, caught
+here statically (REPRO104) even though this module is never imported."""
+
+from repro.seir.seeding import register_stream_tag
+
+_ALPHA_STREAM = register_stream_tag("alpha", 41)
+_BETA_STREAM = register_stream_tag("beta", 41)

@@ -1,0 +1,33 @@
+"""Fixture: executor payload hygiene violations — lambdas and closures
+dispatched through an Executor (REPRO301) and raw tuple payloads instead of
+declared dataclass tasks (REPRO302)."""
+
+from repro.hpc.executor import Executor
+
+
+def dispatch_lambda(executor: Executor, values: list) -> list:
+    return executor.map(lambda v: v + 1, values)
+
+
+def dispatch_closure(executor: Executor, values: list, offset: int) -> list:
+    def _shift(v: int) -> int:
+        return v + offset
+
+    return executor.map(_shift, values)
+
+
+def run_member(task: tuple) -> int:
+    payload, seed = task
+    return len(payload) + seed
+
+
+def dispatch_tuples(executor: Executor, payloads: list) -> list:
+    tasks = []
+    for i, payload in enumerate(payloads):
+        tasks.append((payload, i))
+    return executor.map(run_member, tasks)
+
+
+def dispatch_tuple_comprehension(executor: Executor, payloads: list) -> list:
+    tasks = [(payload, i) for i, payload in enumerate(payloads)]
+    return executor.map(run_member, tasks)

@@ -1,0 +1,163 @@
+"""The linter linted: rule-by-rule assertions over the bug-shape fixtures.
+
+The fixtures reproduce the repo's two documented reproducibility bugs —
+PR 1's rogue RNG construction and PR 5's stream-tag aliasing — plus one
+example per remaining rule family.  Each test pins *which* rule fires
+*where*, so a rule that silently stops matching its bug shape fails here
+rather than in a future post-mortem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.lint import classify_path, main
+
+SRC = str(Path(__file__).parents[2] / "src")
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+def rules_by_file(violations) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for v in violations:
+        out.setdefault(Path(v.path).name, []).append(v.rule)
+    return out
+
+
+class TestRuleFamilies:
+    def test_rogue_rng_shape_pr1(self):
+        """Every RNG construction path in the PR 1 fixture trips REPRO101."""
+        violations = run_lint([str(BAD / "core" / "rogue_rng.py")],
+                              select=["REPRO101"])
+        lines = sorted(v.line for v in violations)
+        assert all(v.rule == "REPRO101" for v in violations)
+        # 2 import-level (stdlib random, numpy.random import-from) plus
+        # 4 construction calls (default_rng x3 routes, SeedSequence) plus
+        # the stdlib random.random() draw.
+        assert len(violations) == 7, [v.render() for v in violations]
+        assert lines[0] <= 8  # the imports are flagged where they happen
+
+    def test_literal_tag_shape_pr5(self):
+        """The PR 5 aliasing fixture: literal, unregistered, and missing
+        tags all trip REPRO102; the bare constant assignment REPRO103."""
+        path = str(BAD / "core" / "literal_tag.py")
+        v102 = run_lint([path], select=["REPRO102"])
+        v103 = run_lint([path], select=["REPRO103"])
+        assert len(v102) == 5, [v.render() for v in v102]
+        assert {v.rule for v in v102} == {"REPRO102"}
+        # both bare constants (stream + purpose patterns)
+        assert len(v103) == 2, [v.render() for v in v103]
+
+    def test_duplicate_registration(self):
+        violations = run_lint([str(BAD / "duplicate_tags.py")],
+                              select=["REPRO104"])
+        assert len(violations) == 1
+        v = violations[0]
+        assert "41" in v.message and "alpha" in v.message \
+            and "beta" in v.message
+
+    def test_determinism_hazards(self):
+        path = str(BAD / "core" / "wall_clock.py")
+        v201 = run_lint([path], select=["REPRO201"])
+        v202 = run_lint([path], select=["REPRO202"])
+        assert len(v201) == 2, [v.render() for v in v201]  # time + datetime
+        assert len(v202) == 2, [v.render() for v in v202]  # fromiter + for
+        # the sorted() path must NOT be flagged
+        flagged_lines = {v.line for v in v202}
+        sorted_line = next(
+            i + 1 for i, text in enumerate(
+                (BAD / "core" / "wall_clock.py").read_text().splitlines())
+            if "sorted(seed_pool)" in text)
+        assert sorted_line not in flagged_lines
+
+    def test_executor_hygiene(self):
+        path = str(BAD / "hpc" / "closure_dispatch.py")
+        v301 = run_lint([path], select=["REPRO301"])
+        v302 = run_lint([path], select=["REPRO302"])
+        assert len(v301) == 2, [v.render() for v in v301]  # lambda + closure
+        assert len(v302) == 2, [v.render() for v in v302]  # append + comp
+
+    def test_typed_core_annotations(self):
+        violations = run_lint([str(BAD / "core" / "untyped.py")],
+                              select=["REPRO401"])
+        messages = {v.message.split("(")[0] for v in violations}
+        assert len(violations) == 3, [v.render() for v in violations]
+        assert any("missing_everything" in m for m in messages)
+        assert any("missing_return" in m for m in messages)
+        assert any("method_missing_arg" in m for m in messages)
+        # `self` must not be demanded
+        assert not any("self" in v.message for v in violations)
+
+    def test_clean_fixture_is_clean(self):
+        assert run_lint([str(GOOD)]) == []
+
+
+class TestPathClassification:
+    def test_seeding_is_the_only_rng_site(self):
+        ctx = classify_path(Path("src/repro/seir/seeding.py"))
+        assert ctx.rng_allowed and ctx.deterministic and ctx.typed
+
+    def test_core_is_typed_and_deterministic(self):
+        ctx = classify_path(Path("src/repro/core/weights.py"))
+        assert not ctx.rng_allowed and ctx.deterministic and ctx.typed
+
+    def test_seir_is_deterministic_but_not_typed(self):
+        ctx = classify_path(Path("src/repro/seir/tauleap.py"))
+        assert not ctx.rng_allowed and ctx.deterministic and not ctx.typed
+
+    def test_fixture_mirror_inherits_rules(self):
+        ctx = classify_path(BAD / "core" / "untyped.py")
+        assert ctx.typed and ctx.deterministic
+
+    def test_outside_subsystems_gets_base_rules_only(self):
+        ctx = classify_path(Path("src/repro/viz/ascii.py"))
+        assert not (ctx.rng_allowed or ctx.deterministic or ctx.typed)
+
+
+class TestCli:
+    def test_exit_zero_on_repo(self):
+        assert main([SRC]) == 0
+
+    def test_exit_nonzero_on_bug_fixtures(self, capsys):
+        assert main([str(BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO101" in out and "REPRO102" in out
+
+    def test_select_filters(self, capsys):
+        assert main([str(BAD / "core" / "untyped.py"),
+                     "--select", "REPRO1"]) == 0
+        assert main([str(BAD / "core" / "untyped.py"),
+                     "--select", "REPRO4"]) == 1
+
+    def test_json_output(self, capsys):
+        import json
+        main([str(BAD / "duplicate_tags.py"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and payload[0]["rule"] == "REPRO104"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("REPRO101", "REPRO201", "REPRO301", "REPRO401"):
+            assert family in out
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint(["no/such/path"])
+
+
+class TestSelfApplication:
+    def test_repo_source_tree_is_contract_clean(self):
+        """The enforced guarantee: the shipped tree has zero violations."""
+        assert run_lint([SRC]) == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        violations = run_lint([str(bad)])
+        assert len(violations) == 1 and violations[0].rule == "REPRO000"

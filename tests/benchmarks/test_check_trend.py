@@ -1,0 +1,72 @@
+"""CPU-mismatch handling in the benchmark trend gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trend",
+    Path(__file__).parents[2] / "benchmarks" / "check_trend.py")
+check_trend_mod = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trend_mod)
+
+
+@pytest.fixture
+def payloads(tmp_path):
+    def write(name: str, cpu: int | None, speedup: float = 2.0) -> Path:
+        payload: dict = {"speedup": speedup}
+        if cpu is not None:
+            payload["cpu_count"] = cpu
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+    return write
+
+
+class TestCpuMismatch:
+    def test_detects_mismatch(self):
+        assert check_trend_mod.cpu_mismatch(
+            {"cpu_count": 1}, {"cpu_count": 4}) == (1, 4)
+
+    def test_no_mismatch_when_equal_or_absent(self):
+        assert check_trend_mod.cpu_mismatch(
+            {"cpu_count": 4}, {"cpu_count": 4}) is None
+        assert check_trend_mod.cpu_mismatch({}, {"cpu_count": 4}) is None
+        assert check_trend_mod.cpu_mismatch({"cpu_count": 4}, {}) is None
+
+    def test_machine_readable_line(self):
+        line = check_trend_mod.render_cpu_mismatch((1, 4))
+        assert line.startswith("CPU_MISMATCH baseline=1 fresh=4")
+
+    def test_default_mode_warns_but_passes(self, payloads, capsys):
+        base, fresh = payloads("b.json", 1), payloads("f.json", 4)
+        code = check_trend_mod.main(["--baseline", str(base),
+                                     "--fresh", str(fresh),
+                                     "--floor", "0.5"])
+        assert code == 0
+        assert "CPU_MISMATCH baseline=1 fresh=4" in capsys.readouterr().err
+
+    def test_strict_mode_fails_with_status_3(self, payloads, capsys):
+        base, fresh = payloads("b.json", 1), payloads("f.json", 4)
+        code = check_trend_mod.main(["--baseline", str(base),
+                                     "--fresh", str(fresh),
+                                     "--floor", "0.5", "--strict-cpu"])
+        assert code == 3
+        assert "CPU_MISMATCH" in capsys.readouterr().err
+
+    def test_strict_mode_passes_on_matching_hosts(self, payloads):
+        base, fresh = payloads("b.json", 4), payloads("f.json", 4)
+        assert check_trend_mod.main(["--baseline", str(base),
+                                     "--fresh", str(fresh),
+                                     "--floor", "0.5", "--strict-cpu"]) == 0
+
+    def test_regression_still_fails_regardless(self, payloads):
+        base = payloads("b.json", 4, speedup=10.0)
+        fresh = payloads("f.json", 4, speedup=0.2)
+        assert check_trend_mod.main(["--baseline", str(base),
+                                     "--fresh", str(fresh),
+                                     "--floor", "1.5"]) == 1

@@ -1,6 +1,5 @@
 """Unit tests for CSV observation loaders."""
 
-import numpy as np
 import pytest
 
 from repro.data import (load_series_csv, load_wide_csv,

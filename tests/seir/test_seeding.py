@@ -167,3 +167,90 @@ class TestShardSimulationGenerators:
                                                          [(0, 2), (2, 4)])
         assert not np.array_equal(whole.integers(0, 2**31, size=6),
                                   first_half.integers(0, 2**31, size=6))
+
+
+class TestStreamDomainRegistry:
+    """Import-time uniqueness guard + pinned tag values.
+
+    The pinned values are load-bearing: every stream a tag keys is a pure
+    function of ``(base_seed, tag, components)``, so renumbering a tag
+    silently re-keys that stream and breaks bit-reproducibility of every
+    committed benchmark and regression baseline.
+    """
+
+    # (name, tag) per domain as shipped; a changed or missing entry here
+    # means someone re-keyed a seed stream.
+    PINNED_BANK_TAGS = {
+        "simulation": 0, "ancillary": 1, "batch": 2,
+        "window_draw": 3, "window_restart": 4, "forecast": 9100,
+    }
+    PINNED_ANCILLARY_TAGS = {
+        "smc_prior": 0, "smc_bias": 1, "smc_resample": 2, "smc_jitter": 3,
+        "groundtruth_thinning": 10, "mcmc_chain": 20, "mcmc_bias": 21,
+        "grid_bias": 30,
+    }
+
+    def test_bank_tags_pinned(self):
+        # Importing the consumers registers their tags.
+        import repro.core.smc  # noqa: F401
+        import repro.inference.forecast  # noqa: F401
+        from repro.seir.seeding import STREAM_DOMAINS
+        tags = STREAM_DOMAINS.tags("bank")
+        for name, tag in self.PINNED_BANK_TAGS.items():
+            assert tags.get(name) == tag, (name, tags.get(name))
+
+    def test_ancillary_tags_pinned(self):
+        import repro.baselines.grid  # noqa: F401
+        import repro.baselines.mcmc  # noqa: F401
+        import repro.core.smc  # noqa: F401
+        import repro.sim.groundtruth  # noqa: F401
+        from repro.seir.seeding import STREAM_DOMAINS
+        tags = STREAM_DOMAINS.tags("ancillary")
+        for name, tag in self.PINNED_ANCILLARY_TAGS.items():
+            assert tags.get(name) == tag, (name, tags.get(name))
+
+    def test_tag_collision_raises(self):
+        from repro.seir.seeding import register_stream_tag
+        with pytest.raises(ValueError, match="alias"):
+            register_stream_tag("not_the_simulation_stream", 0)
+
+    def test_name_rebind_raises(self):
+        from repro.seir.seeding import register_stream_tag
+        with pytest.raises(ValueError, match="rebind"):
+            register_stream_tag("simulation", 999)
+
+    def test_reregistration_is_idempotent(self):
+        from repro.seir.seeding import register_stream_tag
+        assert register_stream_tag("simulation", 0) == 0
+
+    def test_domains_are_separate_namespaces(self):
+        # ancillary purpose 0 (smc_prior) coexists with bank tag 0
+        # (simulation): collisions are per-domain.
+        from repro.seir.seeding import STREAM_DOMAINS
+        import repro.core.smc  # noqa: F401
+        assert STREAM_DOMAINS.tags("bank")["simulation"] == 0
+        assert STREAM_DOMAINS.tags("ancillary")["smc_prior"] == 0
+
+    def test_lookup(self):
+        from repro.seir.seeding import STREAM_DOMAINS
+        entry = STREAM_DOMAINS.lookup("simulation", "bank")
+        assert entry is not None and entry.tag == 0
+
+
+class TestRngStateHelpers:
+    """The serialisation helpers now live in seeding (the one sanctioned
+    RNG construction site); the tauleap aliases must stay in lockstep."""
+
+    def test_roundtrip(self):
+        from repro.seir.seeding import (rng_from_jsonable,
+                                        rng_state_to_jsonable)
+        rng = generator_for(99)
+        rng.integers(0, 100, size=7)
+        clone = rng_from_jsonable(rng_state_to_jsonable(rng))
+        assert np.array_equal(rng.integers(0, 2**31, size=16),
+                              clone.integers(0, 2**31, size=16))
+
+    def test_tauleap_aliases_point_here(self):
+        from repro.seir import seeding, tauleap
+        assert tauleap._rng_state_to_jsonable is seeding.rng_state_to_jsonable
+        assert tauleap._rng_from_jsonable is seeding.rng_from_jsonable

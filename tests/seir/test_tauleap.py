@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import PiecewiseConstant
-from repro.seir import BinomialLeapEngine, Compartment, DiseaseParameters
+from repro.seir import BinomialLeapEngine, Compartment
 
 
 class TestBasicDynamics:
