@@ -106,6 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--temper-floor", type=float, default=0.5,
                            help="per-stage incremental ESS floor of the "
                                 "tempered bridge (with --temper)")
+            p.add_argument("--checkpoint-dir", type=Path, default=None,
+                           help="durably persist each completed window's "
+                                "posterior to this directory (enables "
+                                "--resume after an interruption)")
+            p.add_argument("--resume", action="store_true",
+                           help="restart from the last complete window in "
+                                "--checkpoint-dir instead of from scratch "
+                                "(bit-identical to an uninterrupted run)")
+            p.add_argument("--retry-attempts", type=int, default=1,
+                           help="attempts per simulation shard before the "
+                                "run fails; >1 enables fault-tolerant "
+                                "dispatch with a final in-process fallback")
+            p.add_argument("--retry-timeout", type=float, default=None,
+                           help="per-shard timeout in seconds (pooled "
+                                "executors); timed-out shards are retried")
+            p.add_argument("--retry-backoff", type=float, default=0.0,
+                           help="seconds of linear backoff between shard "
+                                "retry attempts")
         if name == "forecast":
             p.add_argument("--horizon-days", type=int, default=14)
     return parser
@@ -141,6 +159,18 @@ def _adaptive_config_kwargs(args) -> dict:
                 temper_degenerate=args.temper,
                 temper_threshold=args.temper_threshold,
                 temper_ess_floor=args.temper_floor)
+
+
+def _fault_config_kwargs(args) -> dict:
+    """The fault-tolerance knobs shared by the sequential commands."""
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    return dict(retry_attempts=args.retry_attempts,
+                retry_timeout=args.retry_timeout,
+                retry_backoff=args.retry_backoff,
+                checkpoint_dir=(str(args.checkpoint_dir)
+                                if args.checkpoint_dir is not None else None),
+                resume=args.resume)
 
 
 def _cmd_fig2(args) -> int:
@@ -185,12 +215,16 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
         resample_size=args.resample, theta_jitter_width=0.16,
         rho_jitter_width=0.04, n_continuations=2, base_seed=args.seed,
         executor=args.executor, max_workers=args.workers,
-        **_adaptive_config_kwargs(args))
+        **_adaptive_config_kwargs(args), **_fault_config_kwargs(args))
     result = calibrate(truth.observations(include_deaths=include_deaths),
                        cfg, verbose=True)
     args.out.mkdir(parents=True, exist_ok=True)
     result.save_summary(args.out / f"{label}_summary.json")
     print()
+    if result.resumed_from is not None:
+        print(f"  resumed from window {result.resumed_from} "
+              f"(windows 0..{result.resumed_from} restored from "
+              f"{args.checkpoint_dir})")
     print(result.describe())
     sizes = ", ".join(str(int(n)) for n in result.ensemble_sizes())
     print(f"  per-window cloud sizes: {sizes} "
@@ -211,9 +245,12 @@ def _cmd_forecast(args) -> int:
         window_breaks=(20, 34, 48), n_parameter_draws=args.draws,
         n_replicates=args.replicates, resample_size=args.resample,
         base_seed=args.seed, executor=args.executor,
-        max_workers=args.workers, **_adaptive_config_kwargs(args))
+        max_workers=args.workers, **_adaptive_config_kwargs(args),
+        **_fault_config_kwargs(args))
     result = calibrate(truth.observations(include_deaths=True), cfg,
                        verbose=True)
+    if result.resumed_from is not None:
+        print(f"resumed from window {result.resumed_from}")
     forecast = forecast_from_posterior(result.final_posterior,
                                        horizon_days=args.horizon_days,
                                        base_seed=args.seed)

@@ -103,11 +103,13 @@ from typing import Callable, Mapping
 import numpy as np
 
 from ..data.sources import ObservationSet
+from ..hpc.checkpoint_io import CheckpointStore
 from ..hpc.executor import Executor, SerialExecutor
+from ..hpc.faults import RetryPolicy, ShardFailure
 from ..hpc.sharding import (build_group_specs, resolve_shard_layout,
                             simulate_groups, structural_groups,
                             validate_shard_policy)
-from ..seir.checkpoint import Checkpoint
+from ..seir.checkpoint import Checkpoint, CheckpointError
 from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
                           StochasticSEIRModel)
 from ..seir.outputs import Trajectory
@@ -216,6 +218,15 @@ class SMCConfig:
     stratified, low-variance scheme — a multinomial bridge compounds
     resampling noise across stages and can end up noisier than the single
     pass it replaces.
+
+    ``retry`` (a :class:`~repro.hpc.faults.RetryPolicy`, default ``None`` =
+    the legacy fail-fast behaviour) makes every batched window's sharded
+    dispatch fault-tolerant: failed / timed-out / dropped / corrupted
+    shards are re-executed with deterministic backoff, falling back to
+    serial in-process execution on the final attempt.  Because shard
+    outputs are pure functions of ``(base_seed, shard layout)``, retried
+    runs stay bit-identical to fault-free ones (see
+    ``docs/fault_tolerance.md``).
     """
 
     n_parameter_draws: int = 500
@@ -238,8 +249,12 @@ class SMCConfig:
     temper_threshold: float = DEGENERACY_THRESHOLD
     temper_ess_floor: float = 0.5
     temper_resampler: str = "systematic"
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"retry must be a RetryPolicy or None, got {self.retry!r}")
         for name in ("n_parameter_draws", "n_replicates", "resample_size",
                      "n_continuations"):
             if getattr(self, name) < 1:
@@ -430,6 +445,9 @@ class SequentialCalibrator:
         self._resample_policy = self._pin_fixed(
             self.config.resample_size_policy_instance(),
             self.config.resample_size)
+        #: Index of the last window restored from a checkpoint store by the
+        #: most recent ``run(..., resume=True)``; None for fresh runs.
+        self.resumed_from: int | None = None
         self._validate()
 
     @classmethod
@@ -468,7 +486,9 @@ class SequentialCalibrator:
                 f"jitter kernels missing for parameters: {sorted(needed - jitter_names)}")
 
     # ------------------------------------------------------------------ #
-    def run(self, observations: ObservationSet) -> list[WindowResult]:
+    def run(self, observations: ObservationSet, *,
+            store: CheckpointStore | None = None,
+            resume: bool = False) -> list[WindowResult]:
         """Calibrate every window in the schedule against ``observations``.
 
         After each window, the configured size policy maps the window's
@@ -481,14 +501,47 @@ class SequentialCalibrator:
         weighting pass and drives the posterior size the same way.  The
         realised per-window sizes are recorded in each result's
         diagnostics and posterior.
+
+        With a ``store`` every completed window's resampled posterior
+        (checkpoints, parameters, seeds, ancestry, diagnostics) is durably
+        persisted, each window sealed by a completion marker only after
+        its full population is on disk.  ``resume=True`` restarts from the
+        last *complete* stored window: because all per-window randomness
+        is keyed by window index (window-indexed ancillary streams,
+        ``(window, draw_index)`` restart seeds) and the store pins the
+        run's config/seed fingerprint, the remaining windows are
+        bit-identical to an uninterrupted run.  Restored prefix windows
+        carry posterior samples, diagnostics, and (for the restart window)
+        checkpoints, but not trajectory segments/histories — recompute
+        ribbons from a full run if needed.
         """
+        if resume and store is None:
+            raise ValueError("resume=True requires a checkpoint store")
         self._check_coverage(observations)
         results: list[WindowResult] = []
         posterior: ParticleEnsemble | None = None
         windows = list(self.schedule)
         planned = self.config.continuation_ensemble_size
         planned_resample = self.config.resample_size
+        self.resumed_from = None
+        start_index = 0
+        if store is not None:
+            store.validate_run_meta(self._run_fingerprint())
+            if resume:
+                results = self._restore_results(store, windows)
+                if results:
+                    posterior = results[-1].posterior
+                    start_index = len(results)
+                    self.resumed_from = results[-1].index
+                    planned, planned_resample = self._replay_policies(
+                        results, windows)
+                    self._progress(
+                        f"resuming after window {self.resumed_from} "
+                        f"({start_index}/{len(windows)} windows restored "
+                        f"from {store.root})")
         for index, window in enumerate(windows):
+            if index < start_index:
+                continue
             if index == 0:
                 ensemble = self._first_window_ensemble(window)
                 sim_days = window.end_day - self.schedule.burn_in_start
@@ -502,6 +555,8 @@ class SequentialCalibrator:
                                               resample_size=planned_resample)
             posterior = result.posterior
             planned_resample = len(posterior)
+            if store is not None:
+                self._persist_window(store, result)
             self._progress(
                 f"window {index} ({window.label()}): "
                 f"ESS {result.diagnostics.ess:.1f}/{result.diagnostics.n_particles}")
@@ -531,6 +586,166 @@ class SequentialCalibrator:
                 f"observations cover days [{observations.start_day}, "
                 f"{observations.end_day}) but the schedule needs "
                 f"[{self.schedule.start_day}, {self.schedule.end_day})")
+
+    # ------------------------------------------------------------------ #
+    # Fault tolerance: shard-failure reporting, persistence, resume.
+    # ------------------------------------------------------------------ #
+    def _on_shard_failure(self, failure: ShardFailure) -> None:
+        self._progress(
+            f"shard {failure.shard_id} attempt {failure.attempt} failed "
+            f"[{failure.cause}] {failure.error}; retrying")
+
+    def _run_fingerprint(self) -> dict:
+        """JSON-stable identity of everything that determines a run's bits.
+
+        Stored in the checkpoint store's ``run_meta.json`` and validated on
+        reuse/resume: two runs with equal fingerprints produce bit-identical
+        windows, so resuming across a fingerprint mismatch is refused.  The
+        shard layout is recorded in *resolved* form — ``n_shards="auto"``
+        depends on the executor's worker count, and that resolution (not
+        the config string) is what keys the per-shard RNG streams.
+        """
+        cfg = self.config
+
+        def policy_tag(policy: str | EnsembleSizePolicy) -> str:
+            return policy if isinstance(policy, str) else repr(policy)
+
+        def sorted_dict(d: Mapping) -> dict:
+            return {str(k): d[k] for k in sorted(d)}
+
+        layout = {}
+        if cfg.uses_batched_simulation:
+            layout = self._shard_layout_kwargs()
+        return {
+            "format_version": 1,
+            "base_seed": cfg.base_seed,
+            "engine": cfg.engine,
+            "engine_options": sorted_dict(cfg.engine_options),
+            "shard_layout": layout,
+            "n_parameter_draws": cfg.n_parameter_draws,
+            "n_replicates": cfg.n_replicates,
+            "resample_size": cfg.resample_size,
+            "n_continuations": cfg.n_continuations,
+            "resampler": cfg.resampler,
+            "weighting": cfg.weighting,
+            "size_policy": policy_tag(cfg.size_policy),
+            "size_policy_options": sorted_dict(cfg.size_policy_options),
+            "resample_size_policy": policy_tag(cfg.resample_size_policy),
+            "resample_size_policy_options":
+                sorted_dict(cfg.resample_size_policy_options),
+            "temper": [cfg.temper_degenerate, cfg.temper_threshold,
+                       cfg.temper_ess_floor, cfg.temper_resampler],
+            "schedule": [w.label() for w in self.schedule],
+            "burn_in_start": self.schedule.burn_in_start,
+            "param_map": sorted_dict(self.param_map),
+        }
+
+    def _persist_window(self, store: CheckpointStore,
+                        result: WindowResult) -> None:
+        """Durably persist one completed window's resampled posterior.
+
+        Checkpoints land as individual particle files; parameters, seeds,
+        ancestry, and diagnostics ride in the window's ``state.json``; the
+        completion marker is written strictly last (see
+        :meth:`~repro.hpc.checkpoint_io.CheckpointStore.save_window_state`),
+        so a crash mid-persist leaves a torn — and therefore skipped —
+        window, never a corrupt restart point.
+        """
+        posterior = result.posterior
+        checkpoints = []
+        for particle in posterior:
+            if particle.checkpoint is None:
+                raise ValueError(
+                    "cannot persist a posterior whose particles carry no "
+                    "checkpoints")
+            checkpoints.append(particle.checkpoint)
+        meta = {
+            "format_version": 1,
+            "window_index": result.index,
+            "window_label": result.window.label(),
+            "params": [particle.params for particle in posterior],
+            "seeds": [int(particle.seed) for particle in posterior],
+            "ancestors": [int(particle.ancestor) for particle in posterior],
+            "diagnostics": result.diagnostics.to_dict(),
+        }
+        store.save_window_state(result.index, checkpoints, meta)
+
+    def _restore_results(self, store: CheckpointStore,
+                         windows: list[TimeWindow]) -> list[WindowResult]:
+        """Rebuild :class:`WindowResult`\\ s for the complete stored prefix.
+
+        Only a gapless prefix of complete windows is restored (a gap means
+        everything after it must be recomputed anyway).  Checkpoints are
+        loaded for the final restored window only — that is the posterior
+        the next window restarts from; earlier windows carry posterior
+        samples and diagnostics for reporting.
+        """
+        prefix: list[int] = []
+        for index in range(len(windows)):
+            if not store.window_complete(index):
+                break
+            prefix.append(index)
+        results: list[WindowResult] = []
+        for index in prefix:
+            meta = store.load_window_meta(index)
+            if int(meta.get("window_index", -1)) != index:
+                raise CheckpointError(
+                    f"window {index} metadata names window "
+                    f"{meta.get('window_index')!r}; store is inconsistent")
+            if str(meta.get("window_label")) != windows[index].label():
+                raise CheckpointError(
+                    f"stored window {index} covers "
+                    f"{meta.get('window_label')!r} but the schedule expects "
+                    f"{windows[index].label()!r}")
+            params = list(meta["params"])
+            seeds = list(meta["seeds"])
+            ancestors = list(meta["ancestors"])
+            if not len(params) == len(seeds) == len(ancestors):
+                raise CheckpointError(
+                    f"window {index} metadata arrays disagree on length")
+            checkpoints: list[Checkpoint] | None = None
+            if index == prefix[-1]:
+                checkpoints, _ = store.load_window_state(index)
+                if len(checkpoints) != len(params):
+                    raise CheckpointError(
+                        f"window {index} stores {len(checkpoints)} "
+                        f"checkpoints but {len(params)} posterior samples")
+            particles = []
+            for i in range(len(params)):
+                particles.append(Particle(
+                    params={k: float(v) for k, v in dict(params[i]).items()},
+                    seed=int(seeds[i]), ancestor=int(ancestors[i]),
+                    checkpoint=checkpoints[i] if checkpoints is not None
+                    else None))
+            results.append(WindowResult(
+                index=index, window=windows[index],
+                posterior=ParticleEnsemble(particles),
+                diagnostics=WindowDiagnostics.from_dict(
+                    dict(meta["diagnostics"]))))
+        return results
+
+    def _replay_policies(self, results: list[WindowResult],
+                         windows: list[TimeWindow]) -> tuple[int, int]:
+        """Replay the size policies over restored windows.
+
+        Size policies are stateless (frozen dataclasses of
+        :mod:`repro.core.ensemble_control`), so re-running their decisions
+        over the restored diagnostics recovers exactly the ``planned`` /
+        ``planned_resample`` values the uninterrupted run would carry into
+        the first recomputed window — no policy state needs persisting.
+        """
+        planned = self.config.continuation_ensemble_size
+        planned_resample = self.config.resample_size
+        for result in results:
+            planned_resample = len(result.posterior)
+            index = result.index
+            if index + 1 < len(windows):
+                planned = int(self._size_policy.next_size(
+                    window_index=index,
+                    current_size=result.diagnostics.n_particles,
+                    diagnostics=result.diagnostics,
+                    next_window_days=windows[index + 1].n_days))
+        return planned, planned_resample
 
     # ------------------------------------------------------------------ #
     def _params_for_draw(self, draw: Mapping[str, float]) -> DiseaseParameters:
@@ -615,7 +830,9 @@ class SequentialCalibrator:
                        f"{self.executor.workers} worker(s))")
         shards = simulate_groups(self.executor, specs,
                                  end_day=window.end_day, engine=cfg.engine,
-                                 engine_options=cfg.engine_options, **layout)
+                                 engine_options=cfg.engine_options,
+                                 retry=cfg.retry,
+                                 on_failure=self._on_shard_failure, **layout)
 
         particles: list[Particle | None] = [None] * len(entry_seeds)
         for indices, group in zip(groups, shards):
@@ -727,6 +944,8 @@ class SequentialCalibrator:
         shards = simulate_groups(self.executor, specs,
                                  end_day=window.end_day, engine=cfg.engine,
                                  engine_options=cfg.engine_options,
+                                 retry=cfg.retry,
+                                 on_failure=self._on_shard_failure,
                                  **self._shard_layout_kwargs())
 
         particles: list[Particle | None] = [None] * len(parents)

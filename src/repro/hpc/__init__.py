@@ -3,7 +3,11 @@ and sharded dispatch of batched ensemble simulation."""
 
 from .checkpoint_io import CheckpointStore, StoreManifest
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
-                       ThreadExecutor, default_executor, make_executor)
+                       TaskOutcome, ThreadExecutor, default_executor,
+                       make_executor)
+from .faults import (ChaosExecutor, ChaosInjectedError, CorruptedResult,
+                     Fault, FaultPlan, RetryPolicy, ShardFailure,
+                     ShardRetryError)
 from .mpi_like import REDUCE_OPS, MpiLikeComm, SpmdError, run_spmd
 from .partition import (block_partition, chunk_sizes, cyclic_partition,
                         lpt_partition, partition_bounds, shard_bounds)
@@ -17,7 +21,10 @@ from .scheduler import (ScheduleResult, compare_policies, simulate_static,
 
 __all__ = [
     "Executor", "SerialExecutor", "ProcessExecutor", "ThreadExecutor",
-    "default_executor", "make_executor",
+    "default_executor", "make_executor", "TaskOutcome",
+    "RetryPolicy", "ShardFailure", "ShardRetryError",
+    "Fault", "FaultPlan", "ChaosExecutor", "ChaosInjectedError",
+    "CorruptedResult",
     "MpiLikeComm", "run_spmd", "SpmdError", "REDUCE_OPS",
     "block_partition", "cyclic_partition", "chunk_sizes",
     "lpt_partition", "partition_bounds", "shard_bounds",

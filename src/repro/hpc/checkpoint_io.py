@@ -7,14 +7,31 @@ atomic per-particle writes (safe under concurrent writers on a shared file
 system), a JSON manifest for restart discovery, and bulk load of a window's
 particle population.
 
+Durability contract
+-------------------
+Every file is published with write-to-temp + ``fsync`` + ``os.replace``,
+so a reader never sees a torn file.  Window *completeness* is a separate
+concern from file atomicity: a crash mid-window leaves some particles
+written and others missing, all individually valid.  The store therefore
+writes a ``COMPLETE.json`` marker — recording the expected particle count —
+strictly *after* a window's full population (and optional ``state.json``
+metadata) has landed.  :meth:`latest_restart_point` and
+:meth:`load_window_state` only trust marked windows whose expected count is
+actually on disk, so an interrupted run can never resume from a torn
+window.  ``run_meta.json`` pins the run's config/seed fingerprint so a
+store can refuse to mix checkpoints from differently-configured runs.
+
 Layout::
 
     <root>/
       manifest.json
+      run_meta.json
       window_000/
         particle_000000.ckpt.json
         particle_000001.ckpt.json
         ...
+        state.json         # optional window metadata (posterior, diagnostics)
+        COMPLETE.json      # {"n_particles": N}, written last
       window_001/
         ...
 """
@@ -24,14 +41,18 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from ..seir.checkpoint import Checkpoint, CheckpointError
 
 __all__ = ["CheckpointStore", "StoreManifest"]
 
 _MANIFEST_NAME = "manifest.json"
+_RUN_META_NAME = "run_meta.json"
+_COMPLETE_NAME = "COMPLETE.json"
+_STATE_NAME = "state.json"
 
 
 @dataclass(frozen=True)
@@ -41,19 +62,28 @@ class StoreManifest:
     run_id: str
     windows: dict[int, int]
     """Mapping window index -> number of particles stored."""
+    complete: dict[int, bool] = field(default_factory=dict)
+    """Mapping window index -> whether its completion marker validates."""
 
     def latest_window(self) -> int | None:
         return max(self.windows) if self.windows else None
 
+    def latest_complete_window(self) -> int | None:
+        done = [w for w, ok in self.complete.items() if ok]
+        return max(done) if done else None
+
     def to_dict(self) -> dict:
         return {"run_id": self.run_id,
-                "windows": {str(k): v for k, v in self.windows.items()}}
+                "windows": {str(k): v for k, v in self.windows.items()},
+                "complete": {str(k): v for k, v in self.complete.items()}}
 
     @classmethod
     def from_dict(cls, d: dict) -> "StoreManifest":
         return cls(run_id=str(d.get("run_id", "")),
                    windows={int(k): int(v)
-                            for k, v in dict(d.get("windows", {})).items()})
+                            for k, v in dict(d.get("windows", {})).items()},
+                   complete={int(k): bool(v)
+                             for k, v in dict(d.get("complete", {})).items()})
 
 
 class CheckpointStore:
@@ -83,6 +113,39 @@ class CheckpointStore:
             raise ValueError("particle_index must be >= 0")
         return self._window_dir(window_index) / f"particle_{particle_index:06d}.ckpt.json"
 
+    def _write_json_atomic(self, path: Path, payload: dict) -> None:
+        """Durably publish a JSON file (temp + fsync + atomic rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _read_json(path: Path) -> dict | None:
+        """Parse a JSON file; ``None`` when missing or unreadable.
+
+        Unreadable metadata is treated like absent metadata (the window is
+        simply not trusted) rather than an exception: restart discovery
+        must keep working on a store damaged by the very crash it exists
+        to survive.
+        """
+        if not path.exists():
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
     def save(self, window_index: int, particle_index: int,
              checkpoint: Checkpoint) -> Path:
         """Atomically persist one particle checkpoint."""
@@ -92,10 +155,58 @@ class CheckpointStore:
         return path
 
     def save_window(self, window_index: int, checkpoints: list[Checkpoint]) -> None:
-        """Persist a window's population and refresh the manifest."""
+        """Persist a window's population, mark it complete, refresh manifest."""
+        self.save_window_state(window_index, checkpoints, meta=None)
+
+    def save_window_state(self, window_index: int,
+                          checkpoints: list[Checkpoint],
+                          meta: dict | None = None) -> None:
+        """Persist a window's full population plus optional metadata.
+
+        Crash-safe write order: particles, then ``state.json``, then the
+        ``COMPLETE.json`` marker, then the manifest.  A crash at any point
+        before the marker leaves the window unmarked, so restart discovery
+        treats it as torn and falls back to the previous complete window.
+        """
+        if not checkpoints:
+            raise ValueError("cannot persist an empty window")
         for i, cp in enumerate(checkpoints):
             self.save(window_index, i, cp)
+        if meta is not None:
+            self._write_json_atomic(self._window_dir(window_index) / _STATE_NAME,
+                                    meta)
+        self.mark_complete(window_index, len(checkpoints))
         self.write_manifest()
+
+    def mark_complete(self, window_index: int, n_particles: int) -> None:
+        """Publish the completion marker recording the expected count."""
+        if n_particles < 1:
+            raise ValueError("n_particles must be >= 1")
+        self._write_json_atomic(self._window_dir(window_index) / _COMPLETE_NAME,
+                                {"n_particles": int(n_particles)})
+
+    def expected_count(self, window_index: int) -> int | None:
+        """Particle count promised by the completion marker (None = unmarked)."""
+        payload = self._read_json(self._window_dir(window_index) / _COMPLETE_NAME)
+        if payload is None or "n_particles" not in payload:
+            return None
+        try:
+            return int(payload["n_particles"])
+        except (TypeError, ValueError):
+            return None
+
+    def window_complete(self, window_index: int) -> bool:
+        """Whether the window is marked complete *and* all files exist.
+
+        The marker alone is necessary but not sufficient: expected-count
+        validation catches a marked window that later lost particle files
+        (partial deletion, failed copy between file systems).
+        """
+        expected = self.expected_count(window_index)
+        if expected is None:
+            return False
+        return all(self._particle_path(window_index, i).exists()
+                   for i in range(expected))
 
     def load(self, window_index: int, particle_index: int) -> Checkpoint:
         path = self._particle_path(window_index, particle_index)
@@ -111,25 +222,87 @@ class CheckpointStore:
         paths = sorted(directory.glob("particle_*.ckpt.json"))
         return [Checkpoint.load(p) for p in paths]
 
+    def load_window_meta(self, window_index: int) -> dict[str, Any]:
+        """The window's ``state.json`` metadata payload."""
+        payload = self._read_json(self._window_dir(window_index) / _STATE_NAME)
+        if payload is None:
+            raise CheckpointError(
+                f"no state metadata stored for window {window_index}")
+        return payload
+
+    def load_window_state(self, window_index: int
+                          ) -> tuple[list[Checkpoint], dict[str, Any]]:
+        """Load a *complete* window's checkpoints and metadata.
+
+        Unlike :meth:`load_window` (which globs whatever files exist),
+        this refuses torn windows: the completion marker must be present
+        and every promised particle file must load.
+        """
+        expected = self.expected_count(window_index)
+        if expected is None:
+            raise CheckpointError(
+                f"window {window_index} has no completion marker; "
+                "refusing to load a possibly torn window")
+        checkpoints = [self.load(window_index, i) for i in range(expected)]
+        return checkpoints, self.load_window_meta(window_index)
+
     def particle_count(self, window_index: int) -> int:
         directory = self._window_dir(window_index)
         if not directory.is_dir():
             return 0
         return len(list(directory.glob("particle_*.ckpt.json")))
 
+    def stored_windows(self) -> list[int]:
+        """Indices of all windows with a directory, complete or not."""
+        out = []
+        for child in sorted(self._root.glob("window_*")):
+            if child.is_dir():
+                out.append(int(child.name.split("_", 1)[1]))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def write_run_meta(self, fingerprint: dict) -> None:
+        """Durably record the run's config/seed fingerprint."""
+        self._write_json_atomic(self._root / _RUN_META_NAME, fingerprint)
+
+    def read_run_meta(self) -> dict | None:
+        """The stored fingerprint, or ``None`` for a fresh store."""
+        return self._read_json(self._root / _RUN_META_NAME)
+
+    def validate_run_meta(self, fingerprint: dict) -> None:
+        """Bind the store to one run configuration.
+
+        First call on a fresh store records the fingerprint; later calls
+        must match it exactly, so checkpoints written under one
+        ``(base_seed, shard layout, config)`` can never silently seed a
+        resume under another — which would break the bit-identical-resume
+        guarantee without any detectable symptom.
+        """
+        existing = self.read_run_meta()
+        if existing is None:
+            self.write_run_meta(fingerprint)
+            return
+        if existing != fingerprint:
+            differing = sorted(
+                k for k in set(existing) | set(fingerprint)
+                if existing.get(k) != fingerprint.get(k))
+            raise CheckpointError(
+                "checkpoint store was produced by a different run "
+                f"configuration (differing keys: {differing}); resuming "
+                "would not be bit-identical — use a fresh --checkpoint-dir")
+
     # ------------------------------------------------------------------ #
     def write_manifest(self) -> StoreManifest:
         """Scan the store and atomically rewrite the manifest."""
         windows: dict[int, int] = {}
-        for child in sorted(self._root.glob("window_*")):
-            if child.is_dir():
-                index = int(child.name.split("_", 1)[1])
-                windows[index] = len(list(child.glob("particle_*.ckpt.json")))
-        manifest = StoreManifest(run_id=self._run_id, windows=windows)
-        fd, tmp = tempfile.mkstemp(dir=self._root, suffix=".manifest.tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump(manifest.to_dict(), fh)
-        os.replace(tmp, self._root / _MANIFEST_NAME)
+        complete: dict[int, bool] = {}
+        for index in self.stored_windows():
+            windows[index] = self.particle_count(index)
+            complete[index] = self.window_complete(index)
+        manifest = StoreManifest(run_id=self._run_id, windows=windows,
+                                 complete=complete)
+        self._write_json_atomic(self._root / _MANIFEST_NAME,
+                                manifest.to_dict())
         return manifest
 
     def read_manifest(self) -> StoreManifest:
@@ -140,9 +313,16 @@ class CheckpointStore:
             return StoreManifest.from_dict(json.load(fh))
 
     def latest_restart_point(self) -> tuple[int, list[Checkpoint]] | None:
-        """Most recent complete window for resuming an interrupted run."""
-        manifest = self.write_manifest()
-        latest = manifest.latest_window()
-        if latest is None:
-            return None
-        return latest, self.load_window(latest)
+        """Most recent *complete* window for resuming an interrupted run.
+
+        Walks stored windows newest-first and skips any without a
+        validating completion marker, so a window torn by the crash being
+        recovered from is never mistaken for a restart point.
+        """
+        self.write_manifest()
+        for index in sorted(self.stored_windows(), reverse=True):
+            if self.window_complete(index):
+                expected = self.expected_count(index)
+                assert expected is not None
+                return index, [self.load(index, i) for i in range(expected)]
+        return None

@@ -17,10 +17,43 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "ThreadExecutor",
-           "default_executor", "make_executor"]
+           "default_executor", "make_executor", "TaskOutcome",
+           "CAUSE_EXCEPTION", "CAUSE_TIMEOUT", "CAUSE_POOL_BROKEN",
+           "CAUSE_DROPPED"]
+
+# Failure causes surfaced by ``Executor.map_each`` (and reused by the retry
+# layer in :mod:`repro.hpc.faults` for failures it detects itself, e.g.
+# dropped or corrupted shard results).
+CAUSE_EXCEPTION = "worker_exception"
+CAUSE_TIMEOUT = "timeout"
+CAUSE_POOL_BROKEN = "pool_broken"
+CAUSE_DROPPED = "dropped"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result-or-failure of one task under failure-isolating dispatch.
+
+    ``map_each`` returns one of these per task instead of raising, so a
+    single crashed worker does not discard its siblings' completed work.
+    ``cause is None`` means success and ``value`` holds the result;
+    otherwise ``cause`` is one of the ``CAUSE_*`` constants and ``error``
+    carries a human-readable detail string.
+    """
+
+    value: Any = None
+    cause: str | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.cause is None
 
 
 class Executor(ABC):
@@ -38,6 +71,31 @@ class Executor(ABC):
     @abstractmethod
     def workers(self) -> int:
         """Degree of parallelism (1 for serial)."""
+
+    def map_each(self, fn: Callable[[Any], Any], tasks: Iterable[Any],
+                 timeout: float | None = None) -> list[TaskOutcome]:
+        """Failure-isolating map: one :class:`TaskOutcome` per task, in order.
+
+        Unlike :meth:`map`, a failing task does not raise — it yields an
+        outcome with ``cause`` set while its siblings' results survive.
+        This is the dispatch primitive the shard retry layer
+        (:mod:`repro.hpc.faults`) is built on.  ``timeout`` bounds each
+        task's wait in seconds where the backend supports it (process
+        pools); backends that cannot interrupt a running task ignore it.
+
+        The default implementation funnels tasks through :meth:`map` one
+        at a time, which preserves semantics (not throughput) for any
+        backend that does not override it.
+        """
+        outcomes: list[TaskOutcome] = []
+        for task in tasks:
+            try:
+                outcomes.append(TaskOutcome(value=self.map(fn, [task])[0]))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_EXCEPTION,
+                    error=f"{type(exc).__name__}: {exc}"))
+        return outcomes
 
     def close(self) -> None:
         """Release backend resources; idempotent.  Default: nothing to do."""
@@ -98,13 +156,75 @@ class ProcessExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) cached pool; the next map rebuilds it.
+
+        A ``BrokenProcessPool`` poisons the ``ProcessPoolExecutor``
+        permanently — every later submit raises — so caching it would make
+        this executor unusable for the rest of the run.  ``wait=False``
+        because a broken pool has no live workers to join.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
         task_list: Sequence[Any] = list(tasks)
         if not task_list:
             return []
         chunk = self._chunksize or _auto_chunksize(len(task_list), self._max_workers)
         pool = self._ensure_pool()
-        return list(pool.map(fn, task_list, chunksize=chunk))
+        try:
+            return list(pool.map(fn, task_list, chunksize=chunk))
+        except BrokenProcessPool:
+            self._discard_pool()
+            raise
+
+    def map_each(self, fn: Callable[[Any], Any], tasks: Iterable[Any],
+                 timeout: float | None = None) -> list[TaskOutcome]:
+        """Submit tasks individually so failures are isolated per future.
+
+        A worker exception marks only its own task; a dead worker
+        (``BrokenProcessPool``) marks the affected tasks ``pool_broken``
+        and discards the cached pool so the *next* dispatch gets a fresh
+        one; ``timeout`` seconds without a result marks a task
+        ``timeout`` (the stuck worker keeps running — the retry layer
+        re-executes the task elsewhere, which is safe because shard
+        outputs are pure functions of their payload).
+        """
+        task_list: Sequence[Any] = list(tasks)
+        if not task_list:
+            return []
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, task) for task in task_list]
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            return [TaskOutcome(cause=CAUSE_POOL_BROKEN,
+                                error=f"submit failed: {exc}")
+                    for _ in task_list]
+        outcomes: list[TaskOutcome] = []
+        broken = False
+        for future in futures:
+            try:
+                outcomes.append(TaskOutcome(value=future.result(timeout=timeout)))
+            except FuturesTimeoutError:
+                future.cancel()
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_TIMEOUT,
+                    error=f"no result within {timeout}s"))
+            except BrokenProcessPool as exc:
+                broken = True
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_POOL_BROKEN,
+                    error=f"{type(exc).__name__}: {exc}"))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_EXCEPTION,
+                    error=f"{type(exc).__name__}: {exc}"))
+        if broken:
+            self._discard_pool()
+        return outcomes
 
     def close(self) -> None:
         if self._pool is not None:
@@ -141,6 +261,32 @@ class ThreadExecutor(Executor):
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
         return list(self._pool.map(fn, task_list))
+
+    def map_each(self, fn: Callable[[Any], Any], tasks: Iterable[Any],
+                 timeout: float | None = None) -> list[TaskOutcome]:
+        """Per-future dispatch; threads cannot die mid-task, so the only
+        failure modes are worker exceptions and timeouts (a timed-out
+        thread keeps running to completion in the background)."""
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        futures = [self._pool.submit(fn, task) for task in task_list]
+        outcomes: list[TaskOutcome] = []
+        for future in futures:
+            try:
+                outcomes.append(TaskOutcome(value=future.result(timeout=timeout)))
+            except FuturesTimeoutError:
+                future.cancel()
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_TIMEOUT,
+                    error=f"no result within {timeout}s"))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(
+                    cause=CAUSE_EXCEPTION,
+                    error=f"{type(exc).__name__}: {exc}"))
+        return outcomes
 
     def close(self) -> None:
         if self._pool is not None:

@@ -33,8 +33,9 @@ Design contract
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -45,7 +46,8 @@ from ..seir.model import batch_engine_class
 from ..seir.parameters import DiseaseParameters
 from ..seir.seeding import batch_generator_for
 from ..seir.tauleap import transition_table_key
-from .executor import Executor
+from .executor import CAUSE_EXCEPTION, Executor, TaskOutcome
+from .faults import CAUSE_CORRUPT, RetryPolicy, ShardFailure, ShardRetryError
 from .partition import shard_bounds
 
 __all__ = ["GroupSpec", "GroupShards", "ShardTask", "ShardResult",
@@ -198,17 +200,120 @@ def run_shard(task: ShardTask) -> ShardResult:
     return ShardResult(shard_id=task.shard_id, batch=batch, state=state)
 
 
-def dispatch_shards(executor: Executor,
-                    tasks: Sequence[ShardTask]) -> list[ShardResult]:
+def _result_defect(task: ShardTask, result: Any) -> str | None:
+    """Why ``result`` cannot be shard ``task``'s output (``None`` = valid).
+
+    The retry layer treats a defective echo (wrong type, wrong shard id,
+    wrong member count, mismatched state seeds) as a failed attempt rather
+    than poisoning the reassembled ensemble — corrupted results are a real
+    failure mode when workers die mid-serialisation.
+    """
+    if not isinstance(result, ShardResult):
+        return f"result is {type(result).__name__}, not ShardResult"
+    if result.shard_id != task.shard_id:
+        return f"echoed shard id {result.shard_id}, expected {task.shard_id}"
+    n = len(task.seeds)
+    if result.batch.n_particles != n:
+        return (f"batch covers {result.batch.n_particles} members, "
+                f"expected {n}")
+    if task.return_state:
+        if result.state is None:
+            return "missing stacked state (task asked return_state=True)"
+        if not np.array_equal(np.asarray(result.state.seeds, dtype=np.int64),
+                              np.asarray(task.seeds, dtype=np.int64)):
+            return "stacked state seeds do not match the task's seed slice"
+    return None
+
+
+def _dispatch_with_retry(executor: Executor, task_list: Sequence[ShardTask],
+                         retry: RetryPolicy,
+                         on_failure: Callable[[ShardFailure], None] | None
+                         ) -> list[ShardResult]:
+    """Retrying dispatch: re-execute failed shards until the budget runs out.
+
+    Attempt ``k`` waits the policy's deterministic backoff, dispatches the
+    still-pending shards via ``map_each`` (failure-isolating, per-shard
+    timeout), validates every echoed result, and records a
+    :class:`ShardFailure` per miss.  With ``fallback_serial`` the final
+    attempt runs in-process — the degradation path when the pool itself
+    died.  Bit-identical to a fault-free run: shard outputs are pure
+    functions of the task payload.
+    """
+    ordered: list[ShardResult | None] = [None] * len(task_list)
+    failures: list[ShardFailure] = []
+    pending = list(range(len(task_list)))
+    for attempt in range(1, retry.max_attempts + 1):
+        wait = retry.backoff_for(attempt)
+        if wait > 0.0:
+            time.sleep(wait)
+        batch = [task_list[i] for i in pending]
+        serial = (retry.fallback_serial and attempt == retry.max_attempts
+                  and attempt > 1)
+        if serial:
+            outcomes = []
+            for task in batch:
+                try:
+                    outcomes.append(TaskOutcome(value=run_shard(task)))
+                except Exception as exc:
+                    outcomes.append(TaskOutcome(
+                        cause=CAUSE_EXCEPTION,
+                        error=f"{type(exc).__name__}: {exc}"))
+        else:
+            outcomes = executor.map_each(run_shard, batch,
+                                         timeout=retry.timeout_seconds)
+        still_pending = []
+        for slot, outcome in zip(pending, outcomes):
+            cause, error = outcome.cause, outcome.error
+            if cause is None:
+                defect = _result_defect(task_list[slot], outcome.value)
+                if defect is None:
+                    ordered[slot] = outcome.value
+                    continue
+                cause, error = CAUSE_CORRUPT, defect
+            failure = ShardFailure(shard_id=task_list[slot].shard_id,
+                                   attempt=attempt, cause=cause, error=error)
+            failures.append(failure)
+            if on_failure is not None:
+                on_failure(failure)
+            still_pending.append(slot)
+        pending = still_pending
+        if not pending:
+            break
+    if pending:
+        lost = [task_list[i].shard_id for i in pending]
+        raise ShardRetryError(
+            f"shards {lost} still failing after {retry.max_attempts} "
+            f"attempts; failure history: "
+            + "; ".join(f"shard {f.shard_id} attempt {f.attempt} "
+                        f"[{f.cause}] {f.error}" for f in failures),
+            failures)
+    return ordered  # type: ignore[return-value]
+
+
+def dispatch_shards(executor: Executor, tasks: Sequence[ShardTask], *,
+                    retry: RetryPolicy | None = None,
+                    on_failure: Callable[[ShardFailure], None] | None = None
+                    ) -> list[ShardResult]:
     """Map shards across the executor; return results in ``shard_id`` order.
 
     Reassembly is by the echoed ``shard_id``, not list position, so an
     executor that returns results out of order still yields a correctly
     ordered ensemble; duplicated or missing shards raise.
+
+    With a :class:`~repro.hpc.faults.RetryPolicy`, failed / timed-out /
+    dropped / corrupted shards are re-executed (deterministic backoff,
+    serial in-process fallback on the final attempt) and each miss is
+    surfaced to ``on_failure`` as a structured
+    :class:`~repro.hpc.faults.ShardFailure`; exhausting the budget raises
+    :class:`~repro.hpc.faults.ShardRetryError`.  Results are bit-identical
+    either way — shard outputs depend only on ``(base_seed, shard
+    layout)``, never on which worker or attempt produced them.
     """
     task_list = list(tasks)
     if not task_list:
         return []
+    if retry is not None:
+        return _dispatch_with_retry(executor, task_list, retry, on_failure)
     ordered: list[ShardResult | None] = [None] * len(task_list)
     for result in executor.map(run_shard, task_list):
         if not 0 <= result.shard_id < len(task_list):
@@ -288,7 +393,10 @@ class GroupShards:
 def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
                     end_day: int, engine: str, engine_options: dict | None = None,
                     shard_size: int | None = None, n_shards: int | None = None,
-                    return_state: bool = True) -> list[GroupShards]:
+                    return_state: bool = True,
+                    retry: RetryPolicy | None = None,
+                    on_failure: Callable[[ShardFailure], None] | None = None
+                    ) -> list[GroupShards]:
     """Shard every group, fan the shards across the executor, reassemble.
 
     The workhorse behind the calibrator's batched window simulation and
@@ -297,7 +405,8 @@ def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
     ``n_shards``; both ``None`` → one shard per group, the serial fast
     path), all groups' shards are submitted as **one** executor map so
     workers stay busy even when group sizes are uneven, and the results
-    are returned per group in member order.
+    are returned per group in member order.  ``retry``/``on_failure``
+    enable fault-tolerant dispatch (see :func:`dispatch_shards`).
     """
     tasks: list[ShardTask] = []
     layouts: list[list[tuple[int, int]]] = []
@@ -328,7 +437,8 @@ def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
                 start_day=spec.start_day, state=state,
                 return_state=return_state))
         placements.append(task_ids)
-    results = dispatch_shards(executor, tasks)
+    results = dispatch_shards(executor, tasks, retry=retry,
+                              on_failure=on_failure)
     return [GroupShards(bounds=layouts[g],
                         results=[results[t] for t in placements[g]])
             for g in range(len(specs))]

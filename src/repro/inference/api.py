@@ -13,6 +13,7 @@ import time
 
 from ..core.smc import SequentialCalibrator
 from ..data.sources import ObservationSet
+from ..hpc.checkpoint_io import CheckpointStore
 from ..hpc.executor import Executor
 from ..seir.parameters import DiseaseParameters
 from .config import CalibrationConfig
@@ -25,7 +26,8 @@ def calibrate(observations: ObservationSet,
               config: CalibrationConfig | None = None,
               base_params: DiseaseParameters | None = None,
               executor: Executor | None = None,
-              verbose: bool = False) -> CalibrationResult:
+              verbose: bool = False,
+              store: CheckpointStore | None = None) -> CalibrationResult:
     """Run the paper's sequential calibration against observed data streams.
 
     Parameters
@@ -43,6 +45,13 @@ def calibrate(observations: ObservationSet,
         shared pool across several runs).
     verbose:
         Print per-window progress lines.
+    store:
+        Overrides the checkpoint store built from ``config.checkpoint_dir``
+        (useful for injecting a store with a custom run id).  When either
+        is set, every completed window is durably persisted, and
+        ``config.resume`` restarts from the last complete stored window —
+        bit-identical to an uninterrupted run (see
+        ``docs/fault_tolerance.md``).
 
     Returns
     -------
@@ -54,6 +63,8 @@ def calibrate(observations: ObservationSet,
     own_executor = executor is None
     exec_backend = executor if executor is not None else config.make_executor()
     progress = print if verbose else None
+    if store is None:
+        store = config.checkpoint_store()
 
     calibrator = SequentialCalibrator(
         base_params=params,
@@ -67,7 +78,8 @@ def calibrate(observations: ObservationSet,
     )
     started = time.perf_counter()
     try:
-        window_results = calibrator.run(observations)
+        window_results = calibrator.run(observations, store=store,
+                                        resume=config.resume)
     finally:
         if own_executor:
             exec_backend.close()
@@ -75,4 +87,5 @@ def calibrate(observations: ObservationSet,
     return CalibrationResult(schedule=config.schedule(),
                              windows=tuple(window_results),
                              config_payload=config.to_dict(),
-                             wall_time_seconds=elapsed)
+                             wall_time_seconds=elapsed,
+                             resumed_from=calibrator.resumed_from)

@@ -17,7 +17,9 @@ from ..core.priors import Beta, IndependentProduct, Uniform
 from ..core.proposals import JointJitter, paper_window_jitter
 from ..core.smc import SMCConfig
 from ..core.window import WindowSchedule
+from ..hpc.checkpoint_io import CheckpointStore
 from ..hpc.executor import Executor, make_executor
+from ..hpc.faults import RetryPolicy
 from ..seir.parameters import DiseaseParameters
 
 __all__ = ["CalibrationConfig", "paper_calibration_config"]
@@ -93,6 +95,20 @@ class CalibrationConfig:
 
     disease_overrides: dict = field(default_factory=dict)
 
+    #: Fault-tolerant sharded dispatch (repro.hpc.faults): more than one
+    #: attempt (or a per-shard timeout) builds a RetryPolicy — failed /
+    #: timed-out / dropped shards are re-executed with deterministic
+    #: backoff, serially in-process on the final attempt.  Results stay
+    #: bit-identical (shard outputs are pure functions of their payload).
+    retry_attempts: int = 1
+    retry_timeout: float | None = None
+    retry_backoff: float = 0.0
+    #: Durable run state: persist each window's resampled posterior to this
+    #: directory (CheckpointStore layout) and, with resume=True, restart
+    #: from the last complete window instead of from scratch.
+    checkpoint_dir: str | None = None
+    resume: bool = False
+
     # ------------------------------------------------------------------ #
     def schedule(self) -> WindowSchedule:
         return WindowSchedule.from_breaks(list(self.window_breaks),
@@ -137,7 +153,23 @@ class CalibrationConfig:
             temper_threshold=self.temper_threshold,
             temper_ess_floor=self.temper_ess_floor,
             temper_resampler=self.temper_resampler,
+            retry=self.retry_policy(),
         )
+
+    def retry_policy(self) -> RetryPolicy | None:
+        """The configured shard-retry policy (None = legacy fail-fast)."""
+        if self.retry_attempts == 1 and self.retry_timeout is None:
+            return None
+        return RetryPolicy(max_attempts=self.retry_attempts,
+                           timeout_seconds=self.retry_timeout,
+                           backoff_seconds=self.retry_backoff)
+
+    def checkpoint_store(self) -> CheckpointStore | None:
+        """The configured durable window store (None = no persistence)."""
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(self.checkpoint_dir,
+                               run_id=f"seed{self.base_seed}")
 
     def make_executor(self) -> Executor:
         return make_executor(self.executor, max_workers=self.max_workers)

@@ -61,6 +61,9 @@ class CalibrationResult:
     windows: tuple[WindowResult, ...]
     config_payload: dict
     wall_time_seconds: float = float("nan")
+    #: Index of the last window restored from a checkpoint store, or None
+    #: when the run computed every window from scratch.
+    resumed_from: int | None = None
 
     def __post_init__(self) -> None:
         if len(self.windows) != len(self.schedule):
@@ -175,6 +178,7 @@ class CalibrationResult:
             "n_windows": self.n_windows,
             "windows": [wr.window.label() for wr in self.windows],
             "wall_time_seconds": self.wall_time_seconds,
+            "resumed_from": self.resumed_from,
             "log_evidence": self.log_evidence(),
             "ensemble_sizes": self.ensemble_sizes().tolist(),
             "resample_sizes": self.resample_sizes().tolist(),

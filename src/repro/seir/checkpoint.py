@@ -136,13 +136,22 @@ class Checkpoint:
         return cls(params=params, snapshot=snapshot, theta_schedule=schedule)
 
     def save(self, path: str | os.PathLike) -> None:
-        """Atomically write the checkpoint as JSON."""
+        """Atomically and durably write the checkpoint as JSON.
+
+        Write-to-temp + ``fsync`` + ``os.replace`` in the same directory:
+        a reader (or a resumed run) either sees the complete previous
+        content or the complete new content, never a torn file — even
+        across a crash between the write and the rename, because the
+        payload is flushed to disk before the atomic rename publishes it.
+        """
         path = os.fspath(path)
         directory = os.path.dirname(path) or "."
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(self.to_dict(), fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):

@@ -82,3 +82,120 @@ class TestCheckpointStore:
             store.save(-1, 0, checkpoints[0])
         with pytest.raises(ValueError):
             store.save(0, -1, checkpoints[0])
+
+
+class TestDurability:
+    """Atomic, fsync'd publication of checkpoints and store metadata."""
+
+    def test_save_leaves_no_temp_files(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_torn_write_never_observed(self, tmp_path, checkpoints):
+        """Overwriting an existing checkpoint is all-or-nothing: a reader
+        racing the writer sees the old payload or the new one, never a
+        truncated file."""
+        store = CheckpointStore(tmp_path)
+        path = store.save(0, 0, checkpoints[0])
+        before = store.load(0, 0)
+        store.save(0, 0, checkpoints[1])
+        after = store.load(0, 0)
+        assert before.seed == checkpoints[0].seed
+        assert after.seed == checkpoints[1].seed
+        # A torn file on disk fails loudly instead of parsing partially.
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            store.load(0, 0)
+
+
+class TestWindowCompleteness:
+    """Completion markers separate torn windows from resumable ones."""
+
+    def test_unmarked_window_is_incomplete(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, checkpoints[0])  # particles, but no marker
+        assert not store.window_complete(0)
+        assert store.expected_count(0) is None
+
+    def test_marker_with_missing_particles_is_incomplete(self, tmp_path,
+                                                         checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        (store.root / "window_000" / "particle_000001.ckpt.json").unlink()
+        assert not store.window_complete(0)
+
+    def test_restart_point_skips_torn_window(self, tmp_path, checkpoints):
+        """Regression: a crash mid-window used to be offered as a restart
+        point; now only the previous *complete* window is."""
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        store.save(1, 0, checkpoints[0])  # window 1 torn: no marker
+        window, cps = store.latest_restart_point()
+        assert window == 0
+        assert len(cps) == 3
+
+    def test_restart_point_none_when_all_torn(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, checkpoints[0])
+        assert store.latest_restart_point() is None
+
+    def test_load_window_state_refuses_torn_window(self, tmp_path,
+                                                   checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, checkpoints[0])
+        with pytest.raises(CheckpointError, match="torn"):
+            store.load_window_state(0)
+
+    def test_save_window_state_round_trip(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        meta = {"window_index": 0, "params": [[0.3, 0.7]]}
+        store.save_window_state(0, checkpoints, meta=meta)
+        cps, loaded_meta = store.load_window_state(0)
+        assert [c.seed for c in cps] == [c.seed for c in checkpoints]
+        assert loaded_meta == meta
+
+    def test_empty_window_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError, match="empty window"):
+            store.save_window(0, [])
+
+    def test_corrupt_marker_treated_as_absent(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        (store.root / "window_000" / "COMPLETE.json").write_text("{trunc")
+        assert not store.window_complete(0)
+        assert store.latest_restart_point() is None
+
+    def test_manifest_records_completeness(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        store.save_window(0, checkpoints)
+        store.save(1, 0, checkpoints[0])
+        manifest = store.write_manifest()
+        assert manifest.complete == {0: True, 1: False}
+        assert manifest.latest_complete_window() == 0
+        assert store.read_manifest().complete == {0: True, 1: False}
+
+
+class TestRunMeta:
+    """The store is bound to one run configuration fingerprint."""
+
+    def test_first_validate_records(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.read_run_meta() is None
+        store.validate_run_meta({"base_seed": 17, "engine": "x"})
+        assert store.read_run_meta() == {"base_seed": 17, "engine": "x"}
+
+    def test_matching_fingerprint_accepted(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.validate_run_meta({"base_seed": 17})
+        store.validate_run_meta({"base_seed": 17})  # no raise
+
+    def test_mismatch_refused_with_differing_keys(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.validate_run_meta({"base_seed": 17, "engine": "a"})
+        with pytest.raises(CheckpointError,
+                           match=r"different run configuration.*base_seed"):
+            store.validate_run_meta({"base_seed": 18, "engine": "a"})

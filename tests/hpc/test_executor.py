@@ -6,7 +6,8 @@ import pytest
 
 from repro.hpc import (ProcessExecutor, SerialExecutor, ThreadExecutor,
                        default_executor, make_executor)
-from repro.hpc.executor import _auto_chunksize
+from repro.hpc.executor import (CAUSE_EXCEPTION, CAUSE_POOL_BROKEN,
+                                _auto_chunksize)
 
 
 def square(x):
@@ -16,6 +17,13 @@ def square(x):
 def fail_on_three(x):
     if x == 3:
         raise RuntimeError("boom")
+    return x
+
+
+def die_on_three(x):
+    """Kill the worker process outright (simulates OOM-kill / preemption)."""
+    if x == 3:
+        os._exit(1)
     return x
 
 
@@ -67,6 +75,37 @@ class TestProcessExecutor:
     def test_empty(self):
         with ProcessExecutor(max_workers=1) as ex:
             assert ex.map(square, []) == []
+
+
+class TestProcessExecutorFaults:
+    """Failure semantics: broken pools must be discarded, not cached."""
+
+    def test_broken_pool_rebuilt_on_next_map(self):
+        """Regression: a BrokenProcessPool used to stay cached in _pool,
+        poisoning every later map on the same executor."""
+        with ProcessExecutor(max_workers=1) as ex:
+            from concurrent.futures.process import BrokenProcessPool
+            with pytest.raises(BrokenProcessPool):
+                ex.map(die_on_three, [1, 2, 3, 4])
+            assert ex._pool is None
+            assert ex.map(square, [5, 6]) == [25, 36]
+
+    def test_map_each_isolates_worker_exception(self):
+        with ProcessExecutor(max_workers=1) as ex:
+            out = ex.map_each(fail_on_three, [1, 2, 3, 4])
+        assert [o.ok for o in out] == [True, True, False, True]
+        assert out[2].cause == CAUSE_EXCEPTION
+        assert "boom" in out[2].error
+        assert [o.value for o in out] == [1, 2, None, 4]
+
+    def test_map_each_surfaces_pool_loss_and_recovers(self):
+        with ProcessExecutor(max_workers=1) as ex:
+            out = ex.map_each(die_on_three, [1, 2, 3, 4])
+            assert any(o.cause == CAUSE_POOL_BROKEN for o in out)
+            assert ex._pool is None
+            # The executor stays usable: the pool is lazily rebuilt.
+            again = ex.map_each(square, [3])
+        assert again[0].ok and again[0].value == 9
 
 
 class TestThreadExecutor:

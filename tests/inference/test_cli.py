@@ -58,6 +58,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
 
+    def test_fault_tolerance_knobs(self):
+        args = build_parser().parse_args(
+            ["fig4", "--checkpoint-dir", "ckpts", "--resume",
+             "--retry-attempts", "3", "--retry-timeout", "30",
+             "--retry-backoff", "0.5"])
+        from repro.cli import _fault_config_kwargs
+        kwargs = _fault_config_kwargs(args)
+        assert kwargs["checkpoint_dir"] == "ckpts"
+        assert kwargs["resume"]
+        assert kwargs["retry_attempts"] == 3
+        assert kwargs["retry_timeout"] == 30.0
+        assert kwargs["retry_backoff"] == 0.5
+
+    def test_fault_tolerance_defaults_off(self):
+        args = build_parser().parse_args(["fig5"])
+        from repro.cli import _fault_config_kwargs
+        kwargs = _fault_config_kwargs(args)
+        assert kwargs == {"retry_attempts": 1, "retry_timeout": None,
+                          "retry_backoff": 0.0, "checkpoint_dir": None,
+                          "resume": False}
+
+    def test_resume_requires_checkpoint_dir(self):
+        args = build_parser().parse_args(["fig4", "--resume"])
+        from repro.cli import _fault_config_kwargs
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            _fault_config_kwargs(args)
+
 
 class TestCommands:
     def test_fig2_writes_series(self, tmp_path, capsys):

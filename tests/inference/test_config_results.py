@@ -69,6 +69,35 @@ class TestCalibrationConfig:
         ex = CalibrationConfig(executor="serial").make_executor()
         assert ex.workers == 1
 
+    def test_retry_policy_off_by_default(self):
+        cfg = CalibrationConfig()
+        assert cfg.retry_policy() is None
+        assert cfg.smc_config().retry is None
+
+    def test_retry_policy_built_from_knobs(self):
+        cfg = CalibrationConfig(retry_attempts=3, retry_timeout=30.0,
+                                retry_backoff=0.5)
+        policy = cfg.retry_policy()
+        assert policy.max_attempts == 3
+        assert policy.timeout_seconds == 30.0
+        assert policy.backoff_seconds == 0.5
+        assert cfg.smc_config().retry == policy
+        # A timeout alone also enables fault-tolerant dispatch.
+        assert CalibrationConfig(retry_timeout=10.0).retry_policy() is not None
+
+    def test_checkpoint_store_built_from_dir(self, tmp_path):
+        assert CalibrationConfig().checkpoint_store() is None
+        cfg = CalibrationConfig(checkpoint_dir=str(tmp_path / "ck"),
+                                base_seed=7)
+        store = cfg.checkpoint_store()
+        assert store.run_id == "seed7"
+        assert store.root == tmp_path / "ck"
+
+    def test_fault_tolerance_round_trip(self):
+        cfg = CalibrationConfig(retry_attempts=2, retry_backoff=0.1,
+                                checkpoint_dir="ckpts", resume=True)
+        assert CalibrationConfig.from_dict(cfg.to_dict()) == cfg
+
 
 class TestCalibrationResult:
     @pytest.fixture(scope="class")
@@ -150,3 +179,48 @@ class TestCalibrationResult:
             CalibrationResult(schedule=result.schedule,
                               windows=result.windows[:1],
                               config_payload={})
+
+    def test_resumed_from_defaults_to_none(self, result):
+        assert result.resumed_from is None
+        assert result.summary()["resumed_from"] is None
+
+
+class TestCalibrateCheckpointing:
+    """calibrate() wiring of the durable checkpoint/resume path."""
+
+    @pytest.fixture(scope="class")
+    def truth(self):
+        from repro.data import PiecewiseConstant
+        from repro.seir import DiseaseParameters
+        from repro.sim import make_ground_truth
+
+        params = DiseaseParameters(population=30_000, initial_exposed=60)
+        return make_ground_truth(
+            params=params, horizon=30, seed=11,
+            theta_schedule=PiecewiseConstant.constant(0.3),
+            rho_schedule=PiecewiseConstant.constant(0.7))
+
+    def config(self, tmp_path, **overrides):
+        return CalibrationConfig(window_breaks=(10, 20, 30),
+                                 n_parameter_draws=25, n_replicates=2,
+                                 resample_size=30, base_seed=2,
+                                 checkpoint_dir=str(tmp_path / "ck"),
+                                 **overrides)
+
+    def test_resume_reproduces_run(self, truth, tmp_path):
+        import numpy as np
+
+        from repro.inference import calibrate
+
+        first = calibrate(truth.observations(), self.config(tmp_path),
+                          base_params=truth.params)
+        resumed = calibrate(truth.observations(),
+                            self.config(tmp_path, resume=True),
+                            base_params=truth.params)
+        assert first.resumed_from is None
+        assert resumed.resumed_from == first.n_windows - 1
+        assert resumed.summary()["resumed_from"] == first.n_windows - 1
+        for wa, wb in zip(first.windows, resumed.windows):
+            assert np.array_equal(wa.posterior.values("theta"),
+                                  wb.posterior.values("theta"))
+            assert wa.diagnostics.to_dict() == wb.diagnostics.to_dict()

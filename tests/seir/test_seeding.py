@@ -187,7 +187,7 @@ class TestStreamDomainRegistry:
     PINNED_ANCILLARY_TAGS = {
         "smc_prior": 0, "smc_bias": 1, "smc_resample": 2, "smc_jitter": 3,
         "groundtruth_thinning": 10, "mcmc_chain": 20, "mcmc_bias": 21,
-        "grid_bias": 30,
+        "grid_bias": 30, "chaos_faults": 40,
     }
 
     def test_bank_tags_pinned(self):
@@ -203,6 +203,7 @@ class TestStreamDomainRegistry:
         import repro.baselines.grid  # noqa: F401
         import repro.baselines.mcmc  # noqa: F401
         import repro.core.smc  # noqa: F401
+        import repro.hpc.faults  # noqa: F401
         import repro.sim.groundtruth  # noqa: F401
         from repro.seir.seeding import STREAM_DOMAINS
         tags = STREAM_DOMAINS.tags("ancillary")
