@@ -23,13 +23,13 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .registry import collect_registrations
-from .rules import (RULES, FileContext, Violation, check_file,
-                    registry_violations)
+from .rules import (RULES, FileContext, Violation, apply_allow_directives,
+                    check_file, parse_allow_directives, registry_violations)
 
 __all__ = ["classify_path", "iter_source_files", "main", "run_lint"]
 
 #: Subsystem directories in which determinism hazards (REPRO2xx) are errors.
-_DETERMINISTIC_PARTS = {"core", "seir", "hpc"}
+_DETERMINISTIC_PARTS = {"core", "seir", "hpc", "service"}
 #: Subsystem directories whose signatures must be fully annotated
 #: (REPRO4xx); ``seir/seeding.py`` joins them as the mypy-gated file.
 _TYPED_PARTS = {"core", "hpc"}
@@ -76,11 +76,13 @@ def run_lint(paths: Sequence[str],
     """
     files = iter_source_files(paths)
     trees: dict[str, ast.Module] = {}
+    sources: dict[str, str] = {}
     syntax_errors: list[Violation] = []
     for path in files:
+        source = path.read_text(encoding="utf-8")
         try:
-            trees[str(path)] = ast.parse(path.read_text(encoding="utf-8"),
-                                         filename=str(path))
+            trees[str(path)] = ast.parse(source, filename=str(path))
+            sources[str(path)] = source
         except SyntaxError as exc:
             syntax_errors.append(Violation(
                 path=str(path), line=exc.lineno or 0, col=exc.offset or 0,
@@ -92,7 +94,11 @@ def run_lint(paths: Sequence[str],
     violations = list(syntax_errors)
     for path_str, tree in trees.items():
         context = classify_path(Path(path_str))
-        violations.extend(check_file(tree, context, registered))
+        found = check_file(tree, context, registered)
+        directives, directive_problems = parse_allow_directives(
+            path_str, sources[path_str])
+        violations.extend(apply_allow_directives(found, directives))
+        violations.extend(directive_problems)
     violations.extend(registry_violations(registry))
 
     if select:

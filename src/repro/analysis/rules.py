@@ -11,13 +11,16 @@ actionable.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 from .registry import StaticRegistry
 
 __all__ = ["FileContext", "Violation", "RULES", "check_file",
-           "registry_violations"]
+           "registry_violations", "AllowDirective",
+           "parse_allow_directives", "apply_allow_directives"]
 
 #: rule id -> one-line description (surfaced by ``--list-rules``).
 RULES: dict[str, str] = {
@@ -32,6 +35,7 @@ RULES: dict[str, str] = {
                 "deterministic subsystem",
     "REPRO202": "unordered set iteration feeding arrays/sequences in a "
                 "deterministic subsystem",
+    "REPRO203": "invalid, reason-less, or unused '# repro-allow' directive",
     "REPRO301": "lambda or nested function dispatched through an Executor",
     "REPRO302": "raw tuple/dict executor payload instead of a declared "
                 "dataclass task",
@@ -412,6 +416,129 @@ class _FileChecker(ast.NodeVisitor):
                     scope.list_payloads[name].append(call.args[0])
                     break
         self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------- #
+# Scoped allowlisting: ``# repro-allow: RULE <reason>``
+# --------------------------------------------------------------------------- #
+#: Directive comment shape.  The reason is mandatory: an exemption nobody
+#: can justify in one clause should not exist.
+_ALLOW_RE = re.compile(
+    r"#\s*repro-allow:\s*(?P<rule>\S+)(?:\s+(?P<reason>.+?))?\s*$")
+
+#: A comment *starting* with the directive keyword is a directive attempt;
+#: prose merely mentioning repro-allow mid-comment is not.
+_ALLOW_CANDIDATE_RE = re.compile(r"#\s*repro-allow\b")
+
+#: Rules a directive may never waive: the directive machinery itself, and
+#: the syntax-error pseudo-rule.
+_UNWAIVABLE = {"REPRO203", "REPRO000"}
+
+
+@dataclass(frozen=True)
+class AllowDirective:
+    """One parsed ``# repro-allow: RULE reason`` comment.
+
+    ``line`` is where the comment sits; ``target_line`` is the single line
+    whose violations it waives — the same line for a trailing comment, the
+    next code line for a comment standing alone.  The scope is deliberately
+    one line: a directive can never blanket a region, let alone a file.
+    """
+
+    path: str
+    line: int
+    target_line: int
+    rule: str
+    reason: str
+
+
+def parse_allow_directives(path: str, source: str
+                           ) -> tuple[list[AllowDirective], list[Violation]]:
+    """Extract allow directives (and directive *mistakes*) from one file.
+
+    Tokenises rather than scanning lines so ``#`` inside string literals
+    can never be mistaken for a comment.  Malformed directives — unknown
+    or unwaivable rule ids, a missing reason, a missing colon — come back
+    as REPRO203 violations instead of being silently ignored, because a
+    directive the author believes is active but the linter cannot parse is
+    worse than no directive at all.
+    """
+    directives: list[AllowDirective] = []
+    problems: list[Violation] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return [], []  # unparsable files are REPRO000's problem
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or \
+                _ALLOW_CANDIDATE_RE.match(tok.string) is None:
+            continue
+        line, col = tok.start
+        match = _ALLOW_RE.match(tok.string)
+        if match is None:
+            problems.append(Violation(
+                path=path, line=line, col=col, rule="REPRO203",
+                message="malformed repro-allow directive — the shape is "
+                        "'# repro-allow: RULEID <reason>'"))
+            continue
+        rule = match.group("rule")
+        reason = (match.group("reason") or "").strip()
+        if rule not in RULES or rule in _UNWAIVABLE:
+            problems.append(Violation(
+                path=path, line=line, col=col, rule="REPRO203",
+                message=f"repro-allow names {rule!r}, which is not a "
+                        "waivable rule id"))
+            continue
+        if not reason:
+            problems.append(Violation(
+                path=path, line=line, col=col, rule="REPRO203",
+                message=f"repro-allow for {rule} carries no reason — state "
+                        "why this line is exempt"))
+            continue
+        target = line
+        if not lines[line - 1][:col].strip():
+            # Standalone comment: it annotates the next code line.
+            for j in range(line, len(lines)):
+                text = lines[j].strip()
+                if text and not text.startswith("#"):
+                    target = j + 1
+                    break
+        directives.append(AllowDirective(path=path, line=line,
+                                         target_line=target, rule=rule,
+                                         reason=reason))
+    return directives, problems
+
+
+def apply_allow_directives(violations: list[Violation],
+                           directives: list[AllowDirective]
+                           ) -> list[Violation]:
+    """Waive directive-covered violations; flag directives that waive
+    nothing.
+
+    An unused directive is itself a REPRO203 violation: once the code it
+    excused stops violating the rule, the stale exemption would silently
+    re-arm the moment someone reintroduces the hazard on that line.
+    """
+    by_key: dict[tuple[str, int], list[AllowDirective]] = {}
+    for d in directives:
+        by_key.setdefault((d.rule, d.target_line), []).append(d)
+    used: set[AllowDirective] = set()
+    kept: list[Violation] = []
+    for v in violations:
+        covering = by_key.get((v.rule, v.line))
+        if covering:
+            used.update(covering)
+        else:
+            kept.append(v)
+    for d in directives:
+        if d not in used:
+            kept.append(Violation(
+                path=d.path, line=d.line, col=0, rule="REPRO203",
+                message=f"unused repro-allow directive — line "
+                        f"{d.target_line} does not violate {d.rule}; "
+                        "delete the directive"))
+    return kept
 
 
 def check_file(tree: ast.Module, context: FileContext,

@@ -8,6 +8,8 @@ data products to an output directory:
 * ``fig4`` — sequential calibration (cases only);
 * ``fig5`` — sequential calibration (cases + deaths);
 * ``forecast`` — calibrate then forecast beyond the data.
+* ``serve`` — run the always-on calibration service against a spool
+  directory, publishing crash-safe forecast artifacts per window.
 
 Example::
 
@@ -18,7 +20,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -114,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="restart from the last complete window in "
                                 "--checkpoint-dir instead of from scratch "
                                 "(bit-identical to an uninterrupted run)")
+            p.add_argument("--checkpoint-keep-last", type=int, default=None,
+                           metavar="N",
+                           help="after a successful run, prune the "
+                                "checkpoint store down to its newest N "
+                                "sealed windows (retention GC; never "
+                                "deletes unsealed or the latest sealed "
+                                "window)")
             p.add_argument("--retry-attempts", type=int, default=1,
                            help="attempts per simulation shard before the "
                                 "run fails; >1 enables fault-tolerant "
@@ -126,6 +137,66 @@ def build_parser() -> argparse.ArgumentParser:
                                 "retry attempts")
         if name == "forecast":
             p.add_argument("--horizon-days", type=int, default=14)
+
+    ps = sub.add_parser(
+        "serve",
+        help="always-on calibration daemon: ingest spool CSVs, calibrate "
+             "ready windows, publish sealed forecast artifacts")
+    common(ps)
+    ps.add_argument("--spool", type=Path, required=True,
+                    help="directory watched for tidy day,series,value CSV "
+                         "files (write-then-rename; files are immutable "
+                         "once dropped)")
+    ps.add_argument("--artifacts", type=Path, required=True,
+                    help="forecast artifact store root (sealed per-window "
+                         "directories; readers may point here any time)")
+    ps.add_argument("--checkpoint-dir", type=Path, required=True,
+                    help="durable checkpoint store: the service's crash "
+                         "recovery point and source of truth")
+    ps.add_argument("--quarantine", type=Path, default=None,
+                    help="JSONL log of rejected observation rows (default: "
+                         "<artifacts>/quarantine.jsonl)")
+    ps.add_argument("--window-breaks", default="20,34,48,62,76",
+                    help="comma-separated window boundary days "
+                         "(default matches fig4/fig5)")
+    ps.add_argument("--streams", default="cases",
+                    help="comma-separated observation streams to ingest "
+                         "(from: cases, deaths; default: cases)")
+    ps.add_argument("--draws", type=int, default=300,
+                    help="prior parameter draws (paper: 25000)")
+    ps.add_argument("--replicates", type=int, default=5,
+                    help="common-seed replicates per draw (paper: 20)")
+    ps.add_argument("--resample", type=int, default=1000,
+                    help="posterior sample size (paper: 10000)")
+    ps.add_argument("--poll-seconds", type=float, default=2.0,
+                    help="spool re-scan interval while idle")
+    ps.add_argument("--deadline-seconds", type=float, default=None,
+                    help="soft per-window deadline; a miss logs a "
+                         "degradation event but keeps the result")
+    ps.add_argument("--restart-attempts", type=int, default=3,
+                    help="window restart budget before the service holds "
+                         "position (reads keep serving the last sealed "
+                         "artifact)")
+    ps.add_argument("--restart-backoff", type=float, default=0.0,
+                    help="seconds of linear backoff between window restarts")
+    ps.add_argument("--retry-attempts", type=int, default=1,
+                    help="attempts per simulation shard within a window "
+                         "step (the inner fault-tolerance layer)")
+    ps.add_argument("--retry-timeout", type=float, default=None,
+                    help="per-shard timeout in seconds (pooled executors)")
+    ps.add_argument("--retry-backoff", type=float, default=0.0,
+                    help="seconds of linear backoff between shard retries")
+    ps.add_argument("--keep-last", type=int, default=None, metavar="N",
+                    help="retention GC: keep only the newest N sealed "
+                         "windows in both the checkpoint and artifact "
+                         "stores")
+    ps.add_argument("--horizon-days", type=int, default=14,
+                    help="forecast horizon published per window")
+    ps.add_argument("--forecast-seed", type=int, default=0,
+                    help="base seed of the published forecast continuations")
+    ps.add_argument("--exit-when-done", action="store_true",
+                    help="exit once every scheduled window is sealed "
+                         "instead of polling forever (used by tests/CI)")
     return parser
 
 
@@ -165,12 +236,18 @@ def _fault_config_kwargs(args) -> dict:
     """The fault-tolerance knobs shared by the sequential commands."""
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.checkpoint_keep_last is not None:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--checkpoint-keep-last requires --checkpoint-dir")
+        if args.checkpoint_keep_last < 1:
+            raise SystemExit("--checkpoint-keep-last must be >= 1")
     return dict(retry_attempts=args.retry_attempts,
                 retry_timeout=args.retry_timeout,
                 retry_backoff=args.retry_backoff,
                 checkpoint_dir=(str(args.checkpoint_dir)
                                 if args.checkpoint_dir is not None else None),
-                resume=args.resume)
+                resume=args.resume,
+                checkpoint_keep_last=args.checkpoint_keep_last)
 
 
 def _cmd_fig2(args) -> int:
@@ -271,6 +348,112 @@ def _cmd_forecast(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the always-on calibration service until done or told to stop.
+
+    Drains on SIGTERM/SIGINT: the in-flight window (a signal only sets a
+    flag) and one final spool pass complete before a clean exit, so an
+    orchestrator's stop never tears state — and could not anyway, since
+    checkpoints and artifacts are sealed atomically.  Exit codes: 0 clean
+    (drained or ``--exit-when-done``), 3 a window exhausted its restart
+    budget (restarting the daemon grants a fresh one).
+    """
+    from .core.smc import SequentialCalibrator
+    from .data.loaders import _DEFAULT_STREAMS
+    from .hpc import CheckpointStore, RetryPolicy
+    from .service import (ArtifactStore, CalibrationService,
+                          ObservationBuffer, ServiceConfig, SpoolIngest)
+
+    try:
+        breaks = tuple(int(b) for b in args.window_breaks.split(","))
+    except ValueError:
+        raise SystemExit(f"--window-breaks must be comma-separated integers, "
+                         f"got {args.window_breaks!r}")
+    stream_names = tuple(s.strip() for s in args.streams.split(",") if s.strip())
+    unknown = [s for s in stream_names if s not in _DEFAULT_STREAMS]
+    if unknown:
+        raise SystemExit(f"--streams {unknown} not in "
+                         f"{sorted(_DEFAULT_STREAMS)}")
+    if args.keep_last is not None and args.keep_last < 1:
+        raise SystemExit("--keep-last must be >= 1")
+
+    cfg = CalibrationConfig(
+        window_breaks=breaks, n_parameter_draws=args.draws,
+        n_replicates=args.replicates, resample_size=args.resample,
+        base_seed=args.seed, executor=args.executor,
+        max_workers=args.workers, retry_attempts=args.retry_attempts,
+        retry_timeout=args.retry_timeout, retry_backoff=args.retry_backoff)
+    executor = cfg.make_executor()
+    service_config = ServiceConfig(
+        restart=RetryPolicy(max_attempts=args.restart_attempts,
+                            timeout_seconds=args.deadline_seconds,
+                            backoff_seconds=args.restart_backoff),
+        horizon_days=args.horizon_days, forecast_seed=args.forecast_seed,
+        keep_last=args.keep_last)
+    quarantine = (args.quarantine if args.quarantine is not None
+                  else args.artifacts / "quarantine.jsonl")
+
+    stop = {"requested": False}
+
+    def _request_stop(signum, frame):  # noqa: ARG001 — signal signature
+        stop["requested"] = True
+        print(f"received signal {signum}; draining (in-flight window and "
+              "spooled data finish, then clean exit)", flush=True)
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+
+    try:
+        calibrator = SequentialCalibrator(
+            base_params=cfg.disease_params(None), prior=cfg.prior(),
+            jitter=cfg.jitter(), observation_model=cfg.observation_model(),
+            schedule=cfg.schedule(), config=cfg.smc_config(),
+            executor=executor,
+            progress=lambda msg: print(f"  {msg}", flush=True))
+        service = CalibrationService(
+            calibrator, CheckpointStore(args.checkpoint_dir),
+            ArtifactStore(args.artifacts), service_config,
+            progress=lambda msg: print(msg, flush=True))
+        resumed = service.resume()
+        if resumed is None:
+            print(f"fresh run: {len(cfg.schedule())} windows scheduled, "
+                  f"watching {args.spool}", flush=True)
+        # The buffer starts at the resumed frontier so a post-crash spool
+        # re-scan silently skips already-calibrated history instead of
+        # flagging it out-of-order.
+        frontier = (cfg.schedule()[service.head].end_day
+                    if service.head is not None else 0)
+        buffer = ObservationBuffer(
+            streams={name: _DEFAULT_STREAMS[name] for name in stream_names},
+            frontier=frontier)
+        ingest = SpoolIngest(args.spool, buffer, quarantine_path=quarantine)
+
+        while True:
+            rejected = ingest.scan()
+            if rejected:
+                print(f"quarantined {len(rejected)} rejected row(s) -> "
+                      f"{quarantine}", flush=True)
+            service.tick(buffer)
+            if service.failed_window is not None:
+                print(f"window {service.failed_window} exhausted its "
+                      f"restart budget; holding position — restart the "
+                      "daemon for a fresh budget", flush=True)
+                return 3
+            if service.done:
+                print("all scheduled windows calibrated and published",
+                      flush=True)
+                if args.exit_when_done:
+                    return 0
+            if stop["requested"]:
+                head = service.head
+                print(f"drained; head window: "
+                      f"{head if head is not None else 'none'}", flush=True)
+                return 0
+            time.sleep(args.poll_seconds)
+    finally:
+        executor.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "fig2":
@@ -283,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sequential(args, include_deaths=True, label="fig5")
     if args.command == "forecast":
         return _cmd_forecast(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

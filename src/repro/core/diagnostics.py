@@ -61,6 +61,16 @@ class WindowDiagnostics:
     temper_stage_ess:
         Per-stage incremental ESS realised along ``temper_schedule``
         (same length; empty when no tempering ran).
+    shard_failures:
+        Recovered shard-dispatch failures while producing this window's
+        cloud (each is one failed attempt of one shard that was retried to
+        success — see :class:`repro.hpc.faults.ShardFailure`).  Execution
+        metadata, not statistical state: a retried run reports its
+        recoveries here while its weights/posterior stay bit-identical to
+        a fault-free run.
+    shard_failure_causes:
+        The cause code of each recovered failure, in occurrence order
+        (same length as ``shard_failures``).
     """
 
     n_particles: int
@@ -74,6 +84,8 @@ class WindowDiagnostics:
     particle_steps: int = 0
     temper_schedule: tuple[float, ...] = ()
     temper_stage_ess: tuple[float, ...] = ()
+    shard_failures: int = 0
+    shard_failure_causes: tuple[str, ...] = ()
 
     @property
     def degenerate(self) -> bool:
@@ -103,6 +115,8 @@ class WindowDiagnostics:
             "particle_steps": self.particle_steps,
             "temper_schedule": list(self.temper_schedule),
             "temper_stage_ess": list(self.temper_stage_ess),
+            "shard_failures": self.shard_failures,
+            "shard_failure_causes": list(self.shard_failure_causes),
         }
 
     @classmethod
@@ -118,7 +132,10 @@ class WindowDiagnostics:
                    temper_schedule=tuple(
                        float(b) for b in d.get("temper_schedule", ())),
                    temper_stage_ess=tuple(
-                       float(e) for e in d.get("temper_stage_ess", ())))
+                       float(e) for e in d.get("temper_stage_ess", ())),
+                   shard_failures=int(d.get("shard_failures", 0)),
+                   shard_failure_causes=tuple(
+                       str(c) for c in d.get("shard_failure_causes", ())))
 
 
 def compute_diagnostics(log_weights: np.ndarray, normalized: np.ndarray,

@@ -333,7 +333,10 @@ class WindowResult:
                      "n_particles": self.diagnostics.n_particles,
                      "particle_steps": self.diagnostics.particle_steps,
                      "resample_size": len(self.posterior),
-                     "temper_stages": self.diagnostics.temper_stages}
+                     "temper_stages": self.diagnostics.temper_stages,
+                     "shard_failures": self.diagnostics.shard_failures,
+                     "shard_failure_causes":
+                         list(self.diagnostics.shard_failure_causes)}
         for name in self.posterior.param_names:
             lo50, hi50 = self.posterior.credible_interval(name, 0.5)
             lo90, hi90 = self.posterior.credible_interval(name, 0.9)
@@ -448,6 +451,9 @@ class SequentialCalibrator:
         #: Index of the last window restored from a checkpoint store by the
         #: most recent ``run(..., resume=True)``; None for fresh runs.
         self.resumed_from: int | None = None
+        #: Shard failures recovered while producing the current window's
+        #: cloud; reset per window and folded into its diagnostics.
+        self._window_shard_failures: list[ShardFailure] = []
         self._validate()
 
     @classmethod
@@ -526,7 +532,7 @@ class SequentialCalibrator:
         self.resumed_from = None
         start_index = 0
         if store is not None:
-            store.validate_run_meta(self._run_fingerprint())
+            store.validate_run_meta(self.run_fingerprint())
             if resume:
                 results = self._restore_results(store, windows)
                 if results:
@@ -542,35 +548,19 @@ class SequentialCalibrator:
         for index, window in enumerate(windows):
             if index < start_index:
                 continue
-            if index == 0:
-                ensemble = self._first_window_ensemble(window)
-                sim_days = window.end_day - self.schedule.burn_in_start
-            else:
-                assert posterior is not None
-                ensemble = self._continuation_ensemble(window, index, posterior,
-                                                       n_proposals=planned)
-                sim_days = window.n_days
-            result = self._weigh_and_resample(index, window, ensemble,
-                                              observations, sim_days=sim_days,
-                                              resample_size=planned_resample)
+            result = self.step_window(index, window, observations,
+                                      posterior, n_proposals=planned,
+                                      resample_size=planned_resample)
             posterior = result.posterior
-            planned_resample = len(posterior)
             if store is not None:
-                self._persist_window(store, result)
+                self.persist_window(store, result)
             self._progress(
                 f"window {index} ({window.label()}): "
                 f"ESS {result.diagnostics.ess:.1f}/{result.diagnostics.n_particles}")
             results.append(result)
             if index + 1 < len(windows):
-                realised = result.diagnostics.n_particles
-                proposed = int(self._size_policy.next_size(
-                    window_index=index, current_size=realised,
-                    diagnostics=result.diagnostics,
-                    next_window_days=windows[index + 1].n_days))
-                if proposed < 1:
-                    raise ValueError(
-                        f"size policy proposed a cloud of {proposed} "
-                        f"particles after window {index}")
+                proposed, planned_resample = self.planned_sizes_after(
+                    result, next_window_days=windows[index + 1].n_days)
                 if proposed != planned:
                     self._progress(
                         f"window {index}: size policy resized next cloud "
@@ -578,6 +568,70 @@ class SequentialCalibrator:
                         f"{result.diagnostics.ess_fraction:.2f})")
                 planned = proposed
         return results
+
+    def step_window(self, index: int, window: TimeWindow,
+                    observations: ObservationSet,
+                    posterior: ParticleEnsemble | None = None, *,
+                    n_proposals: int | None = None,
+                    resample_size: int | None = None) -> WindowResult:
+        """Calibrate one window — the single-step entry point.
+
+        The body of :meth:`run`'s outer loop, exposed so a streaming driver
+        (the always-on service of :mod:`repro.service`) can advance the
+        calibration one window at a time as observations arrive.  Window 0
+        simulates the prior cloud from burn-in; every later window needs
+        the previous window's resampled ``posterior`` (its particles must
+        carry checkpoints).  ``n_proposals`` / ``resample_size`` are the
+        size-policy plans for this window (see :meth:`planned_sizes_after`;
+        defaults reproduce the classic fixed sizes).  ``observations`` only
+        needs to cover this window's day range, and all per-window
+        randomness is keyed by ``index``, so stepping windows one at a time
+        is bit-identical to a full :meth:`run` over the same schedule.
+        """
+        if observations.start_day > window.start_day or \
+                observations.end_day < window.end_day:
+            raise ValueError(
+                f"observations cover days [{observations.start_day}, "
+                f"{observations.end_day}) but window {index} needs "
+                f"[{window.start_day}, {window.end_day})")
+        self._window_shard_failures = []
+        if index == 0:
+            ensemble = self._first_window_ensemble(window)
+            sim_days = window.end_day - self.schedule.burn_in_start
+        else:
+            if posterior is None:
+                raise ValueError(
+                    f"window {index} is a continuation and needs the "
+                    "previous window's posterior")
+            ensemble = self._continuation_ensemble(window, index, posterior,
+                                                   n_proposals=n_proposals)
+            sim_days = window.n_days
+        return self._weigh_and_resample(index, window, ensemble,
+                                        observations, sim_days=sim_days,
+                                        resample_size=resample_size)
+
+    def planned_sizes_after(self, result: WindowResult, *,
+                            next_window_days: int) -> tuple[int, int]:
+        """The size plans ``(n_proposals, resample_size)`` for the window
+        after ``result``.
+
+        Both policies are stateless and Markovian in the previous window's
+        realised outcome: the proposal plan depends only on
+        ``result.diagnostics`` and the realised cloud size, the resample
+        plan is the realised posterior size.  This is what lets a resumed
+        or streaming run recover the exact plans of an uninterrupted run
+        from the latest window alone (see :meth:`restore_latest_window`).
+        """
+        proposed = int(self._size_policy.next_size(
+            window_index=result.index,
+            current_size=result.diagnostics.n_particles,
+            diagnostics=result.diagnostics,
+            next_window_days=next_window_days))
+        if proposed < 1:
+            raise ValueError(
+                f"size policy proposed a cloud of {proposed} "
+                f"particles after window {result.index}")
+        return proposed, len(result.posterior)
 
     def _check_coverage(self, observations: ObservationSet) -> None:
         if observations.start_day > self.schedule.start_day or \
@@ -591,11 +645,12 @@ class SequentialCalibrator:
     # Fault tolerance: shard-failure reporting, persistence, resume.
     # ------------------------------------------------------------------ #
     def _on_shard_failure(self, failure: ShardFailure) -> None:
+        self._window_shard_failures.append(failure)
         self._progress(
             f"shard {failure.shard_id} attempt {failure.attempt} failed "
             f"[{failure.cause}] {failure.error}; retrying")
 
-    def _run_fingerprint(self) -> dict:
+    def run_fingerprint(self) -> dict:
         """JSON-stable identity of everything that determines a run's bits.
 
         Stored in the checkpoint store's ``run_meta.json`` and validated on
@@ -640,7 +695,7 @@ class SequentialCalibrator:
             "param_map": sorted_dict(self.param_map),
         }
 
-    def _persist_window(self, store: CheckpointStore,
+    def persist_window(self, store: CheckpointStore,
                         result: WindowResult) -> None:
         """Durably persist one completed window's resampled posterior.
 
@@ -685,67 +740,100 @@ class SequentialCalibrator:
             if not store.window_complete(index):
                 break
             prefix.append(index)
-        results: list[WindowResult] = []
-        for index in prefix:
-            meta = store.load_window_meta(index)
-            if int(meta.get("window_index", -1)) != index:
+        return [self._restore_window(store, index, windows[index],
+                                     with_checkpoints=(index == prefix[-1]))
+                for index in prefix]
+
+    def _restore_window(self, store: CheckpointStore, index: int,
+                        window: TimeWindow, *,
+                        with_checkpoints: bool) -> WindowResult:
+        """Rebuild one stored window's :class:`WindowResult`.
+
+        Checkpoints are loaded only when requested (they are needed only
+        for the window the run restarts from); posterior samples,
+        ancestry, and diagnostics always restore.
+        """
+        meta = store.load_window_meta(index)
+        if int(meta.get("window_index", -1)) != index:
+            raise CheckpointError(
+                f"window {index} metadata names window "
+                f"{meta.get('window_index')!r}; store is inconsistent")
+        if str(meta.get("window_label")) != window.label():
+            raise CheckpointError(
+                f"stored window {index} covers "
+                f"{meta.get('window_label')!r} but the schedule expects "
+                f"{window.label()!r}")
+        params = list(meta["params"])
+        seeds = list(meta["seeds"])
+        ancestors = list(meta["ancestors"])
+        if not len(params) == len(seeds) == len(ancestors):
+            raise CheckpointError(
+                f"window {index} metadata arrays disagree on length")
+        checkpoints: list[Checkpoint] | None = None
+        if with_checkpoints:
+            checkpoints, _ = store.load_window_state(index)
+            if len(checkpoints) != len(params):
                 raise CheckpointError(
-                    f"window {index} metadata names window "
-                    f"{meta.get('window_index')!r}; store is inconsistent")
-            if str(meta.get("window_label")) != windows[index].label():
+                    f"window {index} stores {len(checkpoints)} "
+                    f"checkpoints but {len(params)} posterior samples")
+        particles = []
+        for i in range(len(params)):
+            particles.append(Particle(
+                params={k: float(v) for k, v in dict(params[i]).items()},
+                seed=int(seeds[i]), ancestor=int(ancestors[i]),
+                checkpoint=checkpoints[i] if checkpoints is not None
+                else None))
+        return WindowResult(
+            index=index, window=window,
+            posterior=ParticleEnsemble(particles),
+            diagnostics=WindowDiagnostics.from_dict(
+                dict(meta["diagnostics"])))
+
+    def restore_latest_window(self, store: CheckpointStore
+                              ) -> WindowResult | None:
+        """Restore the newest *complete* stored window alone, with
+        checkpoints.
+
+        The streaming-service resume path: unlike :meth:`run`'s
+        gapless-prefix restore (which rebuilds every window for the final
+        :class:`~repro.inference.results.CalibrationResult`), continuing
+        the calibration needs only the latest sealed window — the size
+        plans for the next window derive from it alone
+        (:meth:`planned_sizes_after`) — so this tolerates stores whose
+        older windows were pruned by
+        :meth:`~repro.hpc.checkpoint_io.CheckpointStore.prune`.  Returns
+        ``None`` for a store with no complete window.
+        """
+        windows = list(self.schedule)
+        for index in sorted(store.stored_windows(), reverse=True):
+            if not store.window_complete(index):
+                continue
+            if index >= len(windows):
                 raise CheckpointError(
-                    f"stored window {index} covers "
-                    f"{meta.get('window_label')!r} but the schedule expects "
-                    f"{windows[index].label()!r}")
-            params = list(meta["params"])
-            seeds = list(meta["seeds"])
-            ancestors = list(meta["ancestors"])
-            if not len(params) == len(seeds) == len(ancestors):
-                raise CheckpointError(
-                    f"window {index} metadata arrays disagree on length")
-            checkpoints: list[Checkpoint] | None = None
-            if index == prefix[-1]:
-                checkpoints, _ = store.load_window_state(index)
-                if len(checkpoints) != len(params):
-                    raise CheckpointError(
-                        f"window {index} stores {len(checkpoints)} "
-                        f"checkpoints but {len(params)} posterior samples")
-            particles = []
-            for i in range(len(params)):
-                particles.append(Particle(
-                    params={k: float(v) for k, v in dict(params[i]).items()},
-                    seed=int(seeds[i]), ancestor=int(ancestors[i]),
-                    checkpoint=checkpoints[i] if checkpoints is not None
-                    else None))
-            results.append(WindowResult(
-                index=index, window=windows[index],
-                posterior=ParticleEnsemble(particles),
-                diagnostics=WindowDiagnostics.from_dict(
-                    dict(meta["diagnostics"]))))
-        return results
+                    f"store holds window {index} but the schedule has only "
+                    f"{len(windows)} windows")
+            return self._restore_window(store, index, windows[index],
+                                        with_checkpoints=True)
+        return None
 
     def _replay_policies(self, results: list[WindowResult],
                          windows: list[TimeWindow]) -> tuple[int, int]:
-        """Replay the size policies over restored windows.
+        """Replay the size policies over the restored prefix.
 
         Size policies are stateless (frozen dataclasses of
-        :mod:`repro.core.ensemble_control`), so re-running their decisions
-        over the restored diagnostics recovers exactly the ``planned`` /
-        ``planned_resample`` values the uninterrupted run would carry into
-        the first recomputed window — no policy state needs persisting.
+        :mod:`repro.core.ensemble_control`) and Markovian in the previous
+        window's outcome, so the last restored window alone recovers
+        exactly the ``planned`` / ``planned_resample`` values the
+        uninterrupted run would carry into the first recomputed window —
+        no policy state needs persisting.
         """
-        planned = self.config.continuation_ensemble_size
-        planned_resample = self.config.resample_size
-        for result in results:
-            planned_resample = len(result.posterior)
-            index = result.index
-            if index + 1 < len(windows):
-                planned = int(self._size_policy.next_size(
-                    window_index=index,
-                    current_size=result.diagnostics.n_particles,
-                    diagnostics=result.diagnostics,
-                    next_window_days=windows[index + 1].n_days))
-        return planned, planned_resample
+        last = results[-1]
+        if last.index + 1 >= len(windows):
+            # Everything restored; the plans are never consulted again.
+            return (self.config.continuation_ensemble_size,
+                    len(last.posterior))
+        return self.planned_sizes_after(
+            last, next_window_days=windows[last.index + 1].n_days)
 
     # ------------------------------------------------------------------ #
     def _params_for_draw(self, draw: Mapping[str, float]) -> DiseaseParameters:
@@ -1063,11 +1151,15 @@ class SequentialCalibrator:
         posterior = weighted_ensemble.select(indices)
 
         # The weight statistics are unchanged since pre_diag; only the
-        # realised ancestry and the tempering audit trail are new.
+        # realised ancestry, the tempering audit trail, and the window's
+        # recovered shard failures are new.
+        failures = self._window_shard_failures
         diagnostics = replace(
             pre_diag, unique_ancestors=int(posterior.unique_ancestors()),
             temper_schedule=tuple(float(b) for b in schedule),
-            temper_stage_ess=tuple(float(e) for e in stage_ess))
+            temper_stage_ess=tuple(float(e) for e in stage_ess),
+            shard_failures=len(failures),
+            shard_failure_causes=tuple(f.cause for f in failures))
         return WindowResult(
             index=index, window=window, posterior=posterior,
             diagnostics=diagnostics,

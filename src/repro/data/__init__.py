@@ -7,6 +7,9 @@ from .series import TimeSeries, align, concat
 from .sources import (CASES, DEATHS, HOSPITAL_CENSUS, ICU_CENSUS,
                       ObservationSet, ObservationSource)
 from .synthetic import binomial_thin, make_observed_series, mean_thin
+from .validation import (ObservationDefect, ObservationValidationError,
+                         find_defects, find_row_defects, find_series_defects,
+                         validate_observations)
 
 __all__ = [
     "TimeSeries", "align", "concat",
@@ -15,4 +18,7 @@ __all__ = [
     "CASES", "DEATHS", "HOSPITAL_CENSUS", "ICU_CENSUS",
     "binomial_thin", "mean_thin", "make_observed_series",
     "load_series_csv", "load_wide_csv", "observation_set_from_csv",
+    "ObservationDefect", "ObservationValidationError",
+    "find_defects", "find_series_defects", "find_row_defects",
+    "validate_observations",
 ]

@@ -24,6 +24,7 @@ import numpy as np
 
 from .series import TimeSeries
 from .sources import CASES, DEATHS, ObservationSet, ObservationSource
+from .validation import ObservationValidationError, _value_defect
 
 __all__ = ["load_series_csv", "load_wide_csv", "observation_set_from_csv"]
 
@@ -38,6 +39,12 @@ def _series_from_pairs(name: str, pairs: list[tuple[int, float]],
                        fill_gaps: float | None) -> TimeSeries:
     if not pairs:
         raise ValueError(f"stream {name!r} has no rows")
+    # Reject NaN / negative / non-finite values before the gap-filling
+    # below, which uses NaN internally as its own missing-day sentinel.
+    defects = [d for d in (_value_defect(name, day, value)
+                           for day, value in pairs) if d is not None]
+    if defects:
+        raise ObservationValidationError(defects)
     pairs.sort(key=lambda p: p[0])
     days = [d for d, _ in pairs]
     if len(set(days)) != len(days):

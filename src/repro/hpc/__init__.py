@@ -1,7 +1,8 @@
 """HPC execution substrate: executors, MPI-like collectives, partitioning,
 and sharded dispatch of batched ensemble simulation."""
 
-from .checkpoint_io import CheckpointStore, StoreManifest
+from .checkpoint_io import (CheckpointStore, StoreManifest,
+                            write_json_atomic)
 from .executor import (Executor, ProcessExecutor, SerialExecutor,
                        TaskOutcome, ThreadExecutor, default_executor,
                        make_executor)
@@ -34,5 +35,5 @@ __all__ = [
     "merge_weighted_mean", "allreduce_sum",
     "ScheduleResult", "simulate_static", "simulate_work_stealing",
     "compare_policies",
-    "CheckpointStore", "StoreManifest",
+    "CheckpointStore", "StoreManifest", "write_json_atomic",
 ]

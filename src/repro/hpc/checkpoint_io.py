@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,12 +48,40 @@ from typing import Any
 
 from ..seir.checkpoint import Checkpoint, CheckpointError
 
-__all__ = ["CheckpointStore", "StoreManifest"]
+__all__ = ["CheckpointStore", "StoreManifest", "write_json_atomic"]
 
 _MANIFEST_NAME = "manifest.json"
 _RUN_META_NAME = "run_meta.json"
 _COMPLETE_NAME = "COMPLETE.json"
 _STATE_NAME = "state.json"
+
+
+def write_json_atomic(path: str | os.PathLike, payload: dict, *,
+                      sort_keys: bool = False) -> None:
+    """Durably publish a JSON file: write-temp + ``fsync`` + ``os.replace``.
+
+    The one atomic-publication primitive shared by the checkpoint store and
+    the forecast artifact store (:mod:`repro.service.artifacts`): the temp
+    file lands in the destination directory (same filesystem, so the rename
+    is atomic), is fsync'd before the rename, and is unlinked on any
+    failure — a reader can observe the old file or the new file, never a
+    torn one.  ``sort_keys`` makes the byte stream a pure function of the
+    payload (the artifact store's bit-identity contract needs that; the
+    checkpoint store doesn't care).
+    """
+    dest = Path(path)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=dest.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=sort_keys)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 @dataclass(frozen=True)
@@ -115,18 +144,7 @@ class CheckpointStore:
 
     def _write_json_atomic(self, path: Path, payload: dict) -> None:
         """Durably publish a JSON file (temp + fsync + atomic rename)."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        write_json_atomic(path, payload)
 
     @staticmethod
     def _read_json(path: Path) -> dict | None:
@@ -259,6 +277,30 @@ class CheckpointStore:
             if child.is_dir():
                 out.append(int(child.name.split("_", 1)[1]))
         return out
+
+    def prune(self, keep_last: int) -> list[int]:
+        """Retention GC: delete old *complete* windows, keep the newest
+        ``keep_last``.
+
+        Only sealed windows are candidates — an unsealed window directory
+        is never touched (it may be mid-write by a live run, and it is the
+        crash evidence a resume inspects), and the latest sealed window is
+        always kept (``keep_last >= 1``) because it is the restart point.
+        Batch :meth:`~repro.core.smc.SequentialCalibrator.run` resume
+        restores a gapless prefix, so prune only *after* a batch run
+        finishes; the streaming service resumes from the latest sealed
+        window alone and can prune continuously.  Returns the deleted
+        window indices (oldest first).
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        sealed = [i for i in self.stored_windows() if self.window_complete(i)]
+        doomed = sealed[:-keep_last]
+        for index in doomed:
+            shutil.rmtree(self._window_dir(index))
+        if doomed:
+            self.write_manifest()
+        return doomed
 
     # ------------------------------------------------------------------ #
     def write_run_meta(self, fingerprint: dict) -> None:

@@ -13,6 +13,7 @@ import time
 
 from ..core.smc import SequentialCalibrator
 from ..data.sources import ObservationSet
+from ..data.validation import validate_observations
 from ..hpc.checkpoint_io import CheckpointStore
 from ..hpc.executor import Executor
 from ..seir.parameters import DiseaseParameters
@@ -58,6 +59,7 @@ def calibrate(observations: ObservationSet,
     CalibrationResult
         Per-window posteriors, diagnostics, and figure-regeneration helpers.
     """
+    validate_observations(observations)
     config = config or CalibrationConfig()
     params = config.disease_params(base_params)
     own_executor = executor is None
@@ -84,6 +86,13 @@ def calibrate(observations: ObservationSet,
         if own_executor:
             exec_backend.close()
     elapsed = time.perf_counter() - started
+    if store is not None and config.checkpoint_keep_last is not None:
+        # Post-run retention GC only: pruning mid-run would break the
+        # gapless-prefix restore that batch resume performs.
+        pruned = store.prune(config.checkpoint_keep_last)
+        if pruned and verbose:
+            print(f"pruned {len(pruned)} old checkpoint window(s), "
+                  f"kept the newest {config.checkpoint_keep_last}")
     return CalibrationResult(schedule=config.schedule(),
                              windows=tuple(window_results),
                              config_payload=config.to_dict(),

@@ -108,6 +108,11 @@ class CalibrationConfig:
     #: from the last complete window instead of from scratch.
     checkpoint_dir: str | None = None
     resume: bool = False
+    #: Retention GC: after a successful run, keep only the newest N sealed
+    #: windows in the checkpoint store (CheckpointStore.prune; None keeps
+    #: everything).  Pruning runs post-run because batch resume restores a
+    #: gapless window prefix; the streaming service prunes continuously.
+    checkpoint_keep_last: int | None = None
 
     # ------------------------------------------------------------------ #
     def schedule(self) -> WindowSchedule:

@@ -1,0 +1,33 @@
+"""Fixture: every way to misuse a ``repro-allow`` directive (REPRO203).
+
+An unused directive, a reason-less one, an unknown rule id, a missing
+colon, and an attempt to waive the waiver rule itself — and except for
+the unused case, the underlying REPRO201 violation must still fire,
+because a broken directive excuses nothing."""
+
+import time
+
+
+def unused_directive(x: float) -> float:
+    # repro-allow: REPRO201 nothing below actually violates the rule
+    return x + 1.0
+
+
+def reasonless(sealed_at: float) -> float:
+    # repro-allow: REPRO201
+    return time.time() - sealed_at
+
+
+def unknown_rule() -> float:
+    # repro-allow: REPRO999 no such rule exists
+    return time.time()
+
+
+def missing_colon() -> float:
+    # repro-allow REPRO201 the colon is mandatory
+    return time.time()
+
+
+def unwaivable() -> int:
+    # repro-allow: REPRO203 the waiver rule cannot waive itself
+    return 0

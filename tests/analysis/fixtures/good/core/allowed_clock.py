@@ -1,0 +1,20 @@
+"""Fixture: wall-clock reads excused by scoped ``repro-allow`` directives
+— each directive carries a reason and covers exactly the violating line,
+so the linter must report nothing here (neither REPRO201 nor REPRO203)."""
+
+import time
+
+
+def artifact_age(sealed_at: float) -> float:
+    # repro-allow: REPRO201 staleness age is wall-clock by definition
+    return time.time() - sealed_at
+
+
+def stamp_log_line() -> float:
+    return time.time()  # repro-allow: REPRO201 operator log timestamp only
+
+
+def binding_skips_comments(sealed_at: float) -> float:
+    # repro-allow: REPRO201 wall-clock by definition
+    # (an intervening comment line does not break the binding)
+    return time.time() - sealed_at

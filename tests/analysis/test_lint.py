@@ -161,3 +161,84 @@ class TestSelfApplication:
         bad.write_text("def broken(:\n")
         violations = run_lint([str(bad)])
         assert len(violations) == 1 and violations[0].rule == "REPRO000"
+
+
+class TestAllowDirectives:
+    """The scoped '# repro-allow: RULE reason' waiver mechanism (REPRO203)."""
+
+    MISUSE = BAD / "core" / "allow_misuse.py"
+    ALLOWED = GOOD / "core" / "allowed_clock.py"
+
+    def test_valid_directives_silence_exactly_their_line(self):
+        """Trailing, standalone, and comment-separated directives all bind
+        to the violating line; nothing else is reported."""
+        assert run_lint([str(self.ALLOWED)]) == []
+
+    def test_broken_directives_excuse_nothing(self):
+        """A reason-less, unknown-rule, or malformed directive leaves the
+        underlying REPRO201 violation standing."""
+        v201 = run_lint([str(self.MISUSE)], select=["REPRO201"])
+        assert len(v201) == 3, [v.render() for v in v201]
+
+    def test_every_misuse_shape_is_flagged(self):
+        v203 = run_lint([str(self.MISUSE)], select=["REPRO203"])
+        assert len(v203) == 5, [v.render() for v in v203]
+        messages = " | ".join(v.message for v in v203)
+        assert "unused" in messages
+        assert "no reason" in messages
+        assert "REPRO999" in messages
+        assert "repro-allow: RULEID" in messages  # the malformed shape hint
+        assert "REPRO203" in messages  # the unwaivable-rule attempt
+
+    def test_unused_directive_points_at_its_own_line(self):
+        v203 = run_lint([str(self.MISUSE)], select=["REPRO203"])
+        unused = [v for v in v203 if "unused" in v.message]
+        assert len(unused) == 1
+        source_lines = self.MISUSE.read_text().splitlines()
+        directive_line = next(
+            i + 1 for i, text in enumerate(source_lines)
+            if "nothing below actually violates" in text)
+        assert unused[0].line == directive_line
+
+    def test_directive_does_not_blanket_the_file(self, tmp_path):
+        """One directive waives one line; a second violation elsewhere in
+        the same file still fires."""
+        core = tmp_path / "core"
+        core.mkdir()
+        mod = core / "two_clocks.py"
+        mod.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def allowed() -> float:\n"
+            "    # repro-allow: REPRO201 excused once\n"
+            "    return time.time()\n"
+            "\n"
+            "\n"
+            "def not_allowed() -> float:\n"
+            "    return time.time()\n")
+        violations = run_lint([str(mod)], select=["REPRO2"])
+        assert len(violations) == 1
+        assert violations[0].rule == "REPRO201"
+        assert violations[0].line == 10
+
+    def test_prose_mentioning_repro_allow_is_ignored(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        mod = core / "prose.py"
+        mod.write_text(
+            "# This module documents the repro-allow mechanism in prose.\n"
+            "X: int = 1\n")
+        assert run_lint([str(mod)]) == []
+
+    def test_directives_inside_strings_are_not_parsed(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        mod = core / "stringy.py"
+        mod.write_text(
+            'DOC: str = "# repro-allow: REPRO201 not a real directive"\n')
+        assert run_lint([str(mod)]) == []
+
+    def test_service_is_a_deterministic_subsystem(self):
+        ctx = classify_path(Path("src/repro/service/artifacts.py"))
+        assert ctx.deterministic and not ctx.typed

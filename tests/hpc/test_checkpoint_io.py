@@ -199,3 +199,47 @@ class TestRunMeta:
         with pytest.raises(CheckpointError,
                            match=r"different run configuration.*base_seed"):
             store.validate_run_meta({"base_seed": 18, "engine": "a"})
+
+
+class TestPrune:
+    def seal(self, store, index, checkpoints):
+        store.save_window(index, checkpoints)
+
+    def test_prune_keeps_newest_sealed(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        for w in range(4):
+            self.seal(store, w, checkpoints)
+        assert store.prune(keep_last=2) == [0, 1]
+        assert store.stored_windows() == [2, 3]
+        assert store.window_complete(2) and store.window_complete(3)
+        manifest = store.read_manifest()
+        assert sorted(manifest.windows) == [2, 3]
+
+    def test_prune_never_deletes_unsealed(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        self.seal(store, 0, checkpoints)
+        self.seal(store, 1, checkpoints)
+        # Window 2 is torn: particles on disk but no completion marker.
+        store.save(2, 0, checkpoints[0])
+        assert store.prune(keep_last=1) == [0]
+        assert store.stored_windows() == [1, 2]
+        assert store.window_complete(1)
+        assert not store.window_complete(2)
+
+    def test_prune_never_deletes_latest_sealed(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        self.seal(store, 0, checkpoints)
+        assert store.prune(keep_last=1) == []
+        assert store.window_complete(0)
+
+    def test_prune_noop_below_threshold(self, tmp_path, checkpoints):
+        store = CheckpointStore(tmp_path)
+        self.seal(store, 0, checkpoints)
+        self.seal(store, 1, checkpoints)
+        assert store.prune(keep_last=5) == []
+        assert store.stored_windows() == [0, 1]
+
+    def test_prune_rejects_bad_keep_last(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError, match="keep_last"):
+            store.prune(keep_last=0)

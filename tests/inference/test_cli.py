@@ -77,7 +77,7 @@ class TestParser:
         kwargs = _fault_config_kwargs(args)
         assert kwargs == {"retry_attempts": 1, "retry_timeout": None,
                           "retry_backoff": 0.0, "checkpoint_dir": None,
-                          "resume": False}
+                          "resume": False, "checkpoint_keep_last": None}
 
     def test_resume_requires_checkpoint_dir(self):
         args = build_parser().parse_args(["fig4", "--resume"])
