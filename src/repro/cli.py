@@ -8,8 +8,13 @@ data products to an output directory:
 * ``fig4`` — sequential calibration (cases only);
 * ``fig5`` — sequential calibration (cases + deaths);
 * ``forecast`` — calibrate then forecast beyond the data.
+* ``scenarios`` — list the registered what-if scenarios and sets.
 * ``serve`` — run the always-on calibration service against a spool
   directory, publishing crash-safe forecast artifacts per window.
+
+The sequential commands (``fig4``/``fig5``/``forecast``) accept
+``--scenario NAME`` (repeatable) or ``--scenario-set SET`` to calibrate
+several what-if worlds as one vectorized sweep (see ``docs/scenarios.md``).
 
 Example::
 
@@ -30,8 +35,10 @@ import numpy as np
 from .baselines import single_shot_importance_sampling
 from .core import paper_first_window_prior, paper_observation_model
 from .core.diagnostics import DEGENERACY_THRESHOLD
+from .core.scenarios import SCENARIO_SETS, SCENARIOS, scenario_set
 from .hpc import make_executor
-from .inference import CalibrationConfig, calibrate, forecast_from_posterior
+from .inference import (CalibrationConfig, calibrate, calibrate_scenarios,
+                        forecast_from_posterior, forecast_scenarios)
 from .seir import chicago_defaults
 from .sim import make_fig2_ground_truth
 from .viz import write_json, write_series_csv
@@ -135,8 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--retry-backoff", type=float, default=0.0,
                            help="seconds of linear backoff between shard "
                                 "retry attempts")
+            p.add_argument("--scenario", action="append", default=None,
+                           metavar="NAME",
+                           help="registered scenario to calibrate under "
+                                "(repeatable; see `repro scenarios`); more "
+                                "than one runs a vectorized multi-world "
+                                "sweep with shared random numbers")
+            p.add_argument("--scenario-set", default=None, metavar="SET",
+                           help="named scenario set to sweep (mutually "
+                                "exclusive with --scenario)")
         if name == "forecast":
             p.add_argument("--horizon-days", type=int, default=14)
+
+    sub.add_parser("scenarios",
+                   help="list registered scenarios and scenario sets")
 
     ps = sub.add_parser(
         "serve",
@@ -250,6 +269,44 @@ def _fault_config_kwargs(args) -> dict:
                 checkpoint_keep_last=args.checkpoint_keep_last)
 
 
+def _requested_scenarios(args) -> list[str] | None:
+    """Resolve --scenario/--scenario-set into registered names (or None)."""
+    chosen = getattr(args, "scenario", None)
+    set_name = getattr(args, "scenario_set", None)
+    if chosen and set_name:
+        raise SystemExit("--scenario and --scenario-set are mutually "
+                         "exclusive")
+    if set_name is not None:
+        try:
+            return [spec.name for spec in scenario_set(set_name)]
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+    if chosen:
+        unknown = sorted(set(chosen) - set(SCENARIOS.names()))
+        if unknown:
+            raise SystemExit(f"unknown scenario(s) {unknown}; registered: "
+                             f"{SCENARIOS.names()}")
+        return list(chosen)
+    return None
+
+
+def _cmd_scenarios(args) -> int:
+    print("registered scenarios:")
+    for spec in SCENARIOS.specs():
+        parts = [f"{o.field}={o.value}@d{o.start_day}"
+                 for o in spec.overrides]
+        detail = "; ".join(parts) if parts else "no overrides"
+        if spec.independent_streams:
+            detail += " [independent streams]"
+        print(f"  {spec.name:<24} {detail}")
+        if spec.description:
+            print(f"  {'':<24} {spec.description}")
+    print("\nscenario sets:")
+    for set_name, members in sorted(SCENARIO_SETS.items()):
+        print(f"  {set_name:<24} {', '.join(members)}")
+    return 0
+
+
 def _cmd_fig2(args) -> int:
     truth = make_fig2_ground_truth(seed=args.seed, horizon=args.horizon)
     args.out.mkdir(parents=True, exist_ok=True)
@@ -293,6 +350,10 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
         rho_jitter_width=0.04, n_continuations=2, base_seed=args.seed,
         executor=args.executor, max_workers=args.workers,
         **_adaptive_config_kwargs(args), **_fault_config_kwargs(args))
+    scenario_names = _requested_scenarios(args)
+    if scenario_names is not None:
+        return _sequential_sweep(args, cfg, include_deaths, label,
+                                 scenario_names, truth)
     result = calibrate(truth.observations(include_deaths=include_deaths),
                        cfg, verbose=True)
     args.out.mkdir(parents=True, exist_ok=True)
@@ -316,6 +377,28 @@ def _sequential(args, include_deaths: bool, label: str) -> int:
     return 0
 
 
+def _sequential_sweep(args, cfg, include_deaths: bool, label: str,
+                      scenario_names: list[str], truth) -> int:
+    """Multi-world variant of ``_sequential``: one vectorized sweep."""
+    sweep = calibrate_scenarios(
+        truth.observations(include_deaths=include_deaths),
+        scenarios=scenario_names, config=cfg, verbose=True)
+    args.out.mkdir(parents=True, exist_ok=True)
+    sweep.save_summary(args.out / f"{label}_scenarios_summary.json")
+    print(f"\nsweep over {len(sweep)} scenario(s): "
+          f"{sweep.computed_windows} window(s) computed, "
+          f"{sweep.reused_windows} reused across identical world-lines")
+    for result in sweep:
+        result.save_summary(args.out / f"{label}_{result.scenario}_summary.json")
+        print(f"\n[{result.scenario}]")
+        if result.resumed_from is not None:
+            print(f"  resumed from window {result.resumed_from}")
+        print(result.describe())
+    print(f"\nwrote {args.out / (label + '_scenarios_summary.json')} "
+          f"(+ one summary per scenario)")
+    return 0
+
+
 def _cmd_forecast(args) -> int:
     truth = make_fig2_ground_truth(seed=777, horizon=48)
     cfg = CalibrationConfig(
@@ -324,6 +407,9 @@ def _cmd_forecast(args) -> int:
         base_seed=args.seed, executor=args.executor,
         max_workers=args.workers, **_adaptive_config_kwargs(args),
         **_fault_config_kwargs(args))
+    scenario_names = _requested_scenarios(args)
+    if scenario_names is not None:
+        return _forecast_sweep(args, cfg, scenario_names, truth)
     result = calibrate(truth.observations(include_deaths=True), cfg,
                        verbose=True)
     if result.resumed_from is not None:
@@ -345,6 +431,40 @@ def _cmd_forecast(args) -> int:
     print(f"\nforecast written to {args.out / 'forecast.json'}; "
           f"median day-{forecast.start_day + args.horizon_days - 1} cases: "
           f"{float(np.asarray(payload['q50'])[-1]):.0f}")
+    return 0
+
+
+def _forecast_sweep(args, cfg, scenario_names: list[str], truth) -> int:
+    """Multi-world forecast: sweep-calibrate, then fan the forecast out
+    under common random numbers so cross-scenario deltas are scenario
+    effects, not Monte Carlo noise."""
+    sweep = calibrate_scenarios(truth.observations(include_deaths=True),
+                                scenarios=scenario_names, config=cfg,
+                                verbose=True)
+    forecasts = forecast_scenarios(
+        {r.scenario: r.final_posterior for r in sweep},
+        horizon_days=args.horizon_days, base_seed=args.seed)
+    args.out.mkdir(parents=True, exist_ok=True)
+    payload = {}
+    for name, forecast in forecasts.items():
+        ribbon = forecast.ribbon("cases")
+        payload[name] = {
+            "start_day": forecast.start_day,
+            "horizon_days": forecast.horizon_days,
+            "days": ribbon.days.tolist(),
+            "q05": ribbon.band(0.05).tolist(),
+            "q50": ribbon.median().tolist(),
+            "q95": ribbon.band(0.95).tolist(),
+        }
+    write_json(args.out / "forecast_scenarios.json", payload)
+    print(f"\nsweep over {len(sweep)} scenario(s): "
+          f"{sweep.computed_windows} window(s) computed, "
+          f"{sweep.reused_windows} reused")
+    for name in forecasts:
+        q50 = payload[name]["q50"]
+        print(f"  [{name}] median horizon-end cases: "
+              f"{float(np.asarray(q50)[-1]):.0f}")
+    print(f"wrote {args.out / 'forecast_scenarios.json'}")
     return 0
 
 
@@ -466,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sequential(args, include_deaths=True, label="fig5")
     if args.command == "forecast":
         return _cmd_forecast(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

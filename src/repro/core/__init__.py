@@ -24,8 +24,11 @@ from .reproduction_number import (cori_rt, discretised_serial_interval,
 from .resampling import (RESAMPLERS, get_resampler, multinomial_resample,
                          residual_resample, stratified_resample,
                          systematic_resample)
-from .smc import (BIAS_PARAM, DEFAULT_PARAM_MAP, SequentialCalibrator,
-                  SMCConfig, WindowResult)
+from .scenarios import (SCENARIO_SETS, SCENARIOS, ScenarioOverride,
+                        ScenarioRegistry, ScenarioSpec, ScenarioSweep,
+                        get_scenario, register_scenario, scenario_set)
+from .smc import (BIAS_PARAM, DEFAULT_PARAM_MAP, PendingWindow,
+                  SequentialCalibrator, SMCConfig, WindowResult)
 from .transforms import (ANSCOMBE, IDENTITY, LOG1P, SQRT, TRANSFORMS,
                          Transform, get_transform)
 from .validation import (crps, interval_coverage, posterior_rank,
@@ -38,8 +41,11 @@ from .window import TimeWindow, WindowSchedule, paper_window_schedule
 __all__ = [
     "TemperedResult", "tempered_weight_schedule", "temper_and_resample",
     "adaptive_jitter_width", "ess_triggered_resample",
-    "SMCConfig", "WindowResult", "SequentialCalibrator",
+    "SMCConfig", "WindowResult", "SequentialCalibrator", "PendingWindow",
     "BIAS_PARAM", "DEFAULT_PARAM_MAP",
+    "ScenarioOverride", "ScenarioSpec", "ScenarioRegistry", "ScenarioSweep",
+    "SCENARIOS", "SCENARIO_SETS", "register_scenario", "get_scenario",
+    "scenario_set",
     "EnsembleSizePolicy", "FixedSize", "ESSTargetPolicy", "BudgetPolicy",
     "SIZE_POLICY_NAMES", "make_size_policy", "resolve_size_policy",
     "Particle", "ParticleEnsemble",

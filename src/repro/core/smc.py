@@ -98,7 +98,7 @@ engine is parity-tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
@@ -106,9 +106,9 @@ from ..data.sources import ObservationSet
 from ..hpc.checkpoint_io import CheckpointStore
 from ..hpc.executor import Executor, SerialExecutor
 from ..hpc.faults import RetryPolicy, ShardFailure
-from ..hpc.sharding import (build_group_specs, resolve_shard_layout,
-                            simulate_groups, structural_groups,
-                            validate_shard_policy)
+from ..hpc.sharding import (GroupShards, GroupSpec, build_group_specs,
+                            resolve_shard_layout, simulate_groups,
+                            structural_groups, validate_shard_policy)
 from ..seir.checkpoint import Checkpoint, CheckpointError
 from ..seir.model import (BATCH_ENGINE_NAMES, ENGINE_NAMES,
                           StochasticSEIRModel)
@@ -128,8 +128,11 @@ from .resampling import get_resampler
 from .weights import normalize_log_weights
 from .window import TimeWindow, WindowSchedule
 
-__all__ = ["SMCConfig", "WindowResult", "SequentialCalibrator",
-           "BIAS_PARAM", "DEFAULT_PARAM_MAP"]
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with core.scenarios
+    from .scenarios import ScenarioSpec
+
+__all__ = ["SMCConfig", "WindowResult", "PendingWindow",
+           "SequentialCalibrator", "BIAS_PARAM", "DEFAULT_PARAM_MAP"]
 
 #: Reserved name of the reporting-bias parameter in priors/jitters.
 BIAS_PARAM = "rho"
@@ -349,6 +352,45 @@ class WindowResult:
         return out
 
 
+@dataclass(frozen=True)
+class PendingWindow:
+    """One window's proposal cloud, built but not yet simulated.
+
+    The parent-side handle of the split-phase batched window API
+    (:meth:`SequentialCalibrator.propose_window` /
+    :meth:`~SequentialCalibrator.assemble_window` /
+    :meth:`~SequentialCalibrator.weigh_window`): it carries everything the
+    proposal phase decided — the per-member parameter draws, seeds, and
+    effective :class:`~repro.seir.parameters.DiseaseParameters`, the
+    structural grouping, and the ready-to-dispatch
+    :class:`~repro.hpc.sharding.GroupSpec` list — so a multi-scenario
+    driver can pool many windows' specs into **one** flattened shard
+    dispatch (:func:`~repro.hpc.sharding.simulate_group_sets`) and
+    reassemble each window independently.  All per-window randomness is
+    consumed while *building* a pending window (prior/jitter draws, seed
+    derivations); simulation randomness is keyed by the seed vectors inside
+    the specs, so dispatching pending windows together or apart is
+    bit-identical.
+
+    ``parents`` is ``None`` for window 0 (fresh starts from burn-in) and
+    the per-member parent particles for continuations.
+    """
+
+    index: int
+    window: TimeWindow
+    sim_days: int
+    groups: list[list[int]]
+    specs: list[GroupSpec]
+    member_draws: list[dict[str, float]]
+    member_seeds: list[int]
+    member_params: list[DiseaseParameters]
+    parents: list[Particle] | None = None
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_seeds)
+
+
 # --------------------------------------------------------------------------- #
 # Module-level simulation tasks (picklable for process pools).
 # --------------------------------------------------------------------------- #
@@ -417,6 +459,18 @@ class SequentialCalibrator:
         must not be mapped.
     progress:
         Optional callback ``progress(message: str)`` for run logging.
+    scenario:
+        Optional :class:`~repro.core.scenarios.ScenarioSpec` of declarative
+        parameter overrides this run calibrates under.  Day-0 overrides
+        rewrite the base parameterisation; later overrides must target a
+        checkpoint-restart knob and take effect exactly at a continuation
+        window's start day.  By default scenarios share the run's
+        ``base_seed`` (common random numbers — a scenario whose effective
+        parameters equal the baseline's over a window prefix produces
+        bit-identical windows); ``independent_streams=True`` re-roots every
+        stream on :meth:`~repro.seir.seeding.SeedSequenceBank.scenario_base_seed`.
+        ``None`` (and any override-free, shared-stream scenario) is
+        bit-identical to a scenario-less run.
     """
 
     def __init__(self, base_params: DiseaseParameters,
@@ -427,7 +481,8 @@ class SequentialCalibrator:
                  config: SMCConfig | None = None,
                  executor: Executor | None = None,
                  param_map: Mapping[str, str] | None = None,
-                 progress: Callable[[str], None] | None = None) -> None:
+                 progress: Callable[[str], None] | None = None,
+                 scenario: "ScenarioSpec | None" = None) -> None:
         self.base_params = base_params
         self.prior = prior
         self.jitter = jitter
@@ -436,8 +491,13 @@ class SequentialCalibrator:
         self.config = config or SMCConfig()
         self.executor = executor or SerialExecutor()
         self.param_map = dict(param_map or DEFAULT_PARAM_MAP)
+        self.scenario = scenario
         self._progress = progress or (lambda _msg: None)
-        self._bank = SeedSequenceBank(self.config.base_seed)
+        bank_seed = int(self.config.base_seed)
+        if scenario is not None and scenario.independent_streams:
+            bank_seed = SeedSequenceBank(bank_seed).scenario_base_seed(
+                scenario.stream_key)
+        self._bank = SeedSequenceBank(bank_seed)
         # A default FixedSize() passes the realised size through, which for
         # window 0 would promote the (larger) prior cloud into every later
         # window; pin it to each role's classic fixed size instead so
@@ -490,6 +550,38 @@ class SequentialCalibrator:
         if needed and needed - jitter_names:
             raise ValueError(
                 f"jitter kernels missing for parameters: {sorted(needed - jitter_names)}")
+        if self.scenario is not None:
+            self._validate_scenario()
+
+    def _validate_scenario(self) -> None:
+        """Check the scenario's overrides against this run's schedule.
+
+        Calibrated fields belong to the sampler: a scenario overriding a
+        ``param_map`` target would be silently overwritten by every draw.
+        Mid-run overrides can only take effect where the engine stops —
+        simulation runs window-at-a-time, so any override after day 0 must
+        start exactly at a continuation window's start day (and
+        :class:`~repro.core.scenarios.ScenarioOverride` already restricts
+        those to the checkpoint-restart knobs).
+        """
+        assert self.scenario is not None
+        mapped = set(self.param_map.values())
+        windows = list(self.schedule)
+        continuation_starts = {w.start_day for w in windows[1:]}
+        for override in self.scenario.overrides:
+            if override.field in mapped:
+                raise ValueError(
+                    f"scenario {self.scenario.name!r} overrides "
+                    f"{override.field!r}, which param_map calibrates; "
+                    "a calibrated field cannot be scenario-pinned")
+            if override.start_day > 0 and \
+                    override.start_day not in continuation_starts:
+                raise ValueError(
+                    f"scenario {self.scenario.name!r} override of "
+                    f"{override.field!r} starts at day {override.start_day}, "
+                    "which is not a continuation window start "
+                    f"({sorted(continuation_starts)}); mid-run overrides "
+                    "can only take effect at a window boundary")
 
     # ------------------------------------------------------------------ #
     def run(self, observations: ObservationSet, *,
@@ -606,9 +698,9 @@ class SequentialCalibrator:
             ensemble = self._continuation_ensemble(window, index, posterior,
                                                    n_proposals=n_proposals)
             sim_days = window.n_days
-        return self._weigh_and_resample(index, window, ensemble,
-                                        observations, sim_days=sim_days,
-                                        resample_size=resample_size)
+        return self.weigh_window(index, window, ensemble,
+                                 observations, sim_days=sim_days,
+                                 resample_size=resample_size)
 
     def planned_sizes_after(self, result: WindowResult, *,
                             next_window_days: int) -> tuple[int, int]:
@@ -671,7 +763,7 @@ class SequentialCalibrator:
         layout = {}
         if cfg.uses_batched_simulation:
             layout = self._shard_layout_kwargs()
-        return {
+        fingerprint = {
             "format_version": 1,
             "base_seed": cfg.base_seed,
             "engine": cfg.engine,
@@ -694,6 +786,12 @@ class SequentialCalibrator:
             "burn_in_start": self.schedule.burn_in_start,
             "param_map": sorted_dict(self.param_map),
         }
+        # Pre-scenario stores carry no "scenario" key; a baseline scenario
+        # is bit-identical to no scenario, so it must fingerprint the same
+        # way — the key appears only when the scenario changes the bits.
+        if self.scenario is not None and not self.scenario.is_baseline:
+            fingerprint["scenario"] = self.scenario.fingerprint_payload()
+        return fingerprint
 
     def persist_window(self, store: CheckpointStore,
                         result: WindowResult) -> None:
@@ -836,9 +934,42 @@ class SequentialCalibrator:
             last, next_window_days=windows[last.index + 1].n_days)
 
     # ------------------------------------------------------------------ #
-    def _params_for_draw(self, draw: Mapping[str, float]) -> DiseaseParameters:
+    def _window_base_params(self, window: TimeWindow) -> DiseaseParameters:
+        """The scenario-effective base parameterisation for one window.
+
+        Applies every scenario override whose start day has been reached by
+        ``window.start_day`` (validation guarantees those are day-0
+        rewrites or overrides landing exactly on this window's start);
+        without a scenario this is ``base_params`` itself, bit-for-bit.
+        """
+        if self.scenario is None:
+            return self.base_params
+        return self.scenario.params_at(window.start_day, self.base_params)
+
+    def _params_for_draw(self, draw: Mapping[str, float],
+                         base: DiseaseParameters) -> DiseaseParameters:
         updates = {fld: float(draw[name]) for name, fld in self.param_map.items()}
-        return self.base_params.with_updates(**updates)
+        return base.with_updates(**updates)
+
+    def _scenario_restart_overrides(self, window: TimeWindow
+                                    ) -> dict[str, float]:
+        """Restart-knob values the scenario pins for this window's restarts.
+
+        A checkpoint carries the *previous* window's parameters, so every
+        restart-knob field any scenario override targets must be
+        re-asserted on restart — including fields whose override returns
+        them to the baseline value — or a stale override would leak
+        forward through the checkpoint.  Applied before the calibrated
+        ``param_map`` fields, which always win (validation forbids the
+        overlap anyway).
+        """
+        if self.scenario is None:
+            return {}
+        base = self.scenario.params_at(window.start_day, self.base_params)
+        fields = ({o.field for o in self.scenario.overrides}
+                  & set(ParameterOverride._PARAM_FIELDS))
+        return {field: float(getattr(base, field))
+                for field in sorted(fields)}
 
     def _shard_layout_kwargs(self) -> dict:
         """Resolve the configured shard policy against the executor.
@@ -852,21 +983,174 @@ class SequentialCalibrator:
                                     shard_size=self.config.shard_size,
                                     n_shards=self.config.n_shards)
 
-    def _first_window_ensemble(self, window: TimeWindow) -> ParticleEnsemble:
+    # ------------------------------------------------------------------ #
+    # Split-phase batched API: propose -> simulate -> assemble.
+    #
+    # ``step_window`` fuses the three phases for a single scenario;
+    # :class:`~repro.core.scenarios.ScenarioSweep` calls them separately so
+    # that many scenarios' proposal clouds can be flattened into ONE shard
+    # dispatch (``simulate_group_sets``).  Because per-shard RNG streams are
+    # keyed by seed slices only — never by shard id — the flattened dispatch
+    # is bit-identical to dispatching each scenario alone.
+    # ------------------------------------------------------------------ #
+    def propose_window(self, index: int, window: TimeWindow,
+                       posterior: ParticleEnsemble | None = None, *,
+                       n_proposals: int | None = None) -> PendingWindow:
+        """Build (but do not simulate) one window's proposal cloud.
+
+        Consumes exactly the ancillary/jitter randomness the fused path
+        consumes, in the same order, so
+        ``assemble_window(p, simulate_groups(...))`` over the returned plan
+        is bit-identical to the classic in-place window.  Window 0 ignores
+        ``posterior``; continuations require it (particles must carry
+        checkpoints).  Batched engines only — the scalar engines have no
+        group-spec representation to defer.
+        """
+        if not self.config.uses_batched_simulation:
+            raise ValueError(
+                f"propose_window requires a batched engine; "
+                f"{self.config.engine!r} simulates particle-at-a-time")
+        self._window_shard_failures = []
+        if index == 0:
+            return self._propose_first_window(window)
+        if posterior is None:
+            raise ValueError(
+                f"window {index} is a continuation and needs the "
+                "previous window's posterior")
+        return self._propose_continuation(index, window, posterior,
+                                          n_proposals=n_proposals)
+
+    def _propose_first_window(self, window: TimeWindow) -> PendingWindow:
         cfg = self.config
+        base = self._window_base_params(window)
         rng_prior = self._bank.ancillary_generator(_PURPOSE_PRIOR)
         draws = self.prior.sample(cfg.n_parameter_draws, rng_prior)
         seeds = self._bank.common_replicate_seeds(cfg.n_replicates)
         draw_dicts = [{name: float(draws[name][i]) for name in self.prior.names}
                       for i in range(cfg.n_parameter_draws)]
+        # Replicates share the particle order of the scalar path
+        # (draw-major, replicate-minor), so the two paths are positionally
+        # comparable.
+        entry_draws: list[dict[str, float]] = []
+        entry_params: list[DiseaseParameters] = []
+        entry_seeds: list[int] = []
+        for draw in draw_dicts:
+            params = self._params_for_draw(draw, base)
+            for seed in seeds:
+                entry_draws.append(draw)
+                entry_params.append(params)
+                entry_seeds.append(seed)
+        groups = structural_groups(entry_params)
+        specs = build_group_specs(groups, entry_params, entry_seeds,
+                                  start_day=self.schedule.burn_in_start)
+        self._progress(f"window 0: batch-simulating {len(entry_seeds)} prior "
+                       f"trajectories ({len(groups)} structural group(s), "
+                       f"{self.executor.workers} worker(s))")
+        return PendingWindow(
+            index=0, window=window,
+            sim_days=window.end_day - self.schedule.burn_in_start,
+            groups=groups, specs=specs, member_draws=entry_draws,
+            member_seeds=[int(s) for s in entry_seeds],
+            member_params=entry_params, parents=None)
+
+    def _propose_continuation(self, index: int, window: TimeWindow,
+                              posterior: ParticleEnsemble, *,
+                              n_proposals: int | None = None) -> PendingWindow:
+        cfg = self.config
+        n = int(n_proposals) if n_proposals is not None \
+            else cfg.continuation_ensemble_size
+        if n < 1:
+            raise ValueError("n_proposals must be >= 1")
+        base = self._window_base_params(window)
+        rng_jitter = self._bank.ancillary_generator(_PURPOSE_JITTER,
+                                                    window_index=index)
+        parent_idx = np.arange(n) % len(posterior)
+        centers = {name: posterior.values(name)[parent_idx]
+                   for name in self.prior.names}
+        proposal = self.jitter.propose(centers, rng_jitter)
+        proposed_params = [{name: float(proposal[name][i])
+                            for name in self.prior.names} for i in range(n)]
+        seeds = [self._bank.window_draw_seed(index, i) for i in range(n)]
+        parents = [posterior[int(j)] for j in parent_idx]
+        params_list = [self._params_for_draw(draw, base)
+                       for draw in proposed_params]
+        groups = structural_groups(params_list)
+        for parent in parents:
+            assert parent.checkpoint is not None
+        specs = build_group_specs(
+            groups, params_list, seeds,
+            snapshots=[p.checkpoint.snapshot for p in parents])
+        self._progress(
+            f"window {index}: batch-restarting {len(parents)} "
+            f"checkpoints ({window.label()})")
+        return PendingWindow(
+            index=index, window=window, sim_days=window.n_days,
+            groups=groups, specs=specs, member_draws=proposed_params,
+            member_seeds=[int(s) for s in seeds], member_params=params_list,
+            parents=parents)
+
+    def _simulate_pending(self, pending: PendingWindow) -> list[GroupShards]:
+        cfg = self.config
+        return simulate_groups(self.executor, pending.specs,
+                               end_day=pending.window.end_day,
+                               engine=cfg.engine,
+                               engine_options=cfg.engine_options,
+                               retry=cfg.retry,
+                               on_failure=self._on_shard_failure,
+                               **self._shard_layout_kwargs())
+
+    def assemble_window(self, pending: PendingWindow,
+                        shards: list[GroupShards]) -> ParticleEnsemble:
+        """Reassemble a dispatched :class:`PendingWindow` into particles.
+
+        ``shards`` is the per-group result list for exactly
+        ``pending.specs`` (e.g. one element of a
+        :func:`~repro.hpc.sharding.simulate_group_sets` return).  Window 0
+        turns each whole trajectory into history+segment; continuations
+        splice each parent's history with its restarted segment.
+        """
+        first_window = pending.parents is None
+        particles: list[Particle | None] = [None] * pending.n_members
+        for indices, group in zip(pending.groups, shards):
+            for member, result, row in group.member_items():
+                idx = indices[member]
+                checkpoint = Checkpoint(
+                    params=pending.member_params[idx],
+                    snapshot=result.particle_snapshot(row))
+                if first_window:
+                    history = result.batch.trajectory(row)
+                    segment = history.window(pending.window.start_day,
+                                             pending.window.end_day)
+                else:
+                    segment = result.batch.trajectory(row)
+                    assert pending.parents is not None
+                    parent = pending.parents[idx]
+                    history = parent.history.extended_by(segment) \
+                        if parent.history is not None else segment
+                particles[idx] = Particle(
+                    params=pending.member_draws[idx],
+                    seed=pending.member_seeds[idx],
+                    segment=segment, history=history, checkpoint=checkpoint)
+        return ParticleEnsemble(particles)
+
+    # ------------------------------------------------------------------ #
+    def _first_window_ensemble(self, window: TimeWindow) -> ParticleEnsemble:
+        cfg = self.config
         if cfg.uses_batched_simulation:
-            return self._first_window_ensemble_batched(window, draw_dicts,
-                                                       seeds)
+            pending = self.propose_window(0, window)
+            return self.assemble_window(pending,
+                                        self._simulate_pending(pending))
+        base = self._window_base_params(window)
+        rng_prior = self._bank.ancillary_generator(_PURPOSE_PRIOR)
+        draws = self.prior.sample(cfg.n_parameter_draws, rng_prior)
+        seeds = self._bank.common_replicate_seeds(cfg.n_replicates)
+        draw_dicts = [{name: float(draws[name][i]) for name in self.prior.names}
+                      for i in range(cfg.n_parameter_draws)]
 
         tasks = []
         meta = []  # (draw_index, seed)
         for i, draw in enumerate(draw_dicts):
-            payload = self._params_for_draw(draw).to_dict()
+            payload = self._params_for_draw(draw, base).to_dict()
             for seed in seeds:
                 tasks.append(_FirstWindowTask(
                     params_payload=payload, seed=seed,
@@ -887,55 +1171,6 @@ class SequentialCalibrator:
                 checkpoint=Checkpoint.from_dict(cp_payload)))
         return ParticleEnsemble(particles)
 
-    def _first_window_ensemble_batched(self, window: TimeWindow,
-                                       draw_dicts: list[dict[str, float]],
-                                       seeds: list[int]) -> ParticleEnsemble:
-        """Simulate the prior ensemble as sharded stacked state matrices.
-
-        Replicates share the particle order of the scalar path (draw-major,
-        replicate-minor), so the two paths are positionally comparable.
-        Each structural group is split into contiguous shards fanned across
-        the executor; every shard draws from its own batch stream keyed by
-        its seed slice (see :mod:`repro.hpc.sharding`).
-        """
-        cfg = self.config
-        entry_draws: list[dict[str, float]] = []
-        entry_params: list[DiseaseParameters] = []
-        entry_seeds: list[int] = []
-        for draw in draw_dicts:
-            params = self._params_for_draw(draw)
-            for seed in seeds:
-                entry_draws.append(draw)
-                entry_params.append(params)
-                entry_seeds.append(seed)
-
-        groups = structural_groups(entry_params)
-        specs = build_group_specs(groups, entry_params, entry_seeds,
-                                  start_day=self.schedule.burn_in_start)
-        layout = self._shard_layout_kwargs()
-        self._progress(f"window 0: batch-simulating {len(entry_seeds)} prior "
-                       f"trajectories ({len(groups)} structural group(s), "
-                       f"{self.executor.workers} worker(s))")
-        shards = simulate_groups(self.executor, specs,
-                                 end_day=window.end_day, engine=cfg.engine,
-                                 engine_options=cfg.engine_options,
-                                 retry=cfg.retry,
-                                 on_failure=self._on_shard_failure, **layout)
-
-        particles: list[Particle | None] = [None] * len(entry_seeds)
-        for indices, group in zip(groups, shards):
-            for member, result, row in group.member_items():
-                idx = indices[member]
-                history = result.batch.trajectory(row)
-                particles[idx] = Particle(
-                    params=entry_draws[idx], seed=int(entry_seeds[idx]),
-                    segment=history.window(window.start_day, window.end_day),
-                    history=history,
-                    checkpoint=Checkpoint(
-                        params=entry_params[idx],
-                        snapshot=result.particle_snapshot(row)))
-        return ParticleEnsemble(particles)
-
     def _continuation_ensemble(self, window: TimeWindow, index: int,
                                posterior: ParticleEnsemble,
                                n_proposals: int | None = None,
@@ -953,6 +1188,11 @@ class SequentialCalibrator:
         the seed vector is prefix-stable under size changes.
         """
         cfg = self.config
+        if cfg.uses_batched_simulation:
+            pending = self.propose_window(index, window, posterior,
+                                          n_proposals=n_proposals)
+            return self.assemble_window(pending,
+                                        self._simulate_pending(pending))
         n = int(n_proposals) if n_proposals is not None \
             else cfg.continuation_ensemble_size
         if n < 1:
@@ -968,16 +1208,11 @@ class SequentialCalibrator:
                             for name in self.prior.names} for i in range(n)]
         seeds = [self._bank.window_draw_seed(index, i) for i in range(n)]
         parents = [posterior[int(j)] for j in parent_idx]
-        if cfg.uses_batched_simulation:
-            self._progress(
-                f"window {index}: batch-restarting {len(parents)} "
-                f"checkpoints ({window.label()})")
-            return self._continuation_ensemble_batched(
-                window, proposed_params, seeds, parents)
 
         # Resampling duplicates ancestors, and every continuation re-visits
         # each parent, so serialise each distinct parent checkpoint once per
         # window instead of once per task.
+        scenario_pins = self._scenario_restart_overrides(window)
         payload_cache: dict[int, dict] = {}
         tasks = []
         for draw, seed, parent in zip(proposed_params, seeds, parents):
@@ -987,6 +1222,7 @@ class SequentialCalibrator:
                 payload = parent.checkpoint.to_dict()
                 payload_cache[id(parent.checkpoint)] = payload
             override: dict = {"seed": seed}
+            override.update(scenario_pins)
             override.update({fld: draw[name]
                              for name, fld in self.param_map.items()})
             tasks.append(_ContinuationTask(
@@ -1006,50 +1242,6 @@ class SequentialCalibrator:
             particles.append(Particle(
                 params=draw, seed=seed, segment=segment, history=history,
                 checkpoint=Checkpoint.from_dict(cp_payload)))
-        return ParticleEnsemble(particles)
-
-    def _continuation_ensemble_batched(self, window: TimeWindow,
-                                       proposed_params: list[dict[str, float]],
-                                       seeds: list[int],
-                                       parents: list[Particle],
-                                       ) -> ParticleEnsemble:
-        """Restart the whole posterior as sharded stacked state matrices.
-
-        Parent checkpoint snapshots are stacked **once per group** and
-        sliced per shard (no dict/JSON round-trip, no per-particle
-        payloads); each shard starts a fresh batch stream keyed by its
-        slice of the window-restart seed vector — the ensemble-wide form of
-        the paper's restart knob 1.
-        """
-        cfg = self.config
-        params_list = [self._params_for_draw(draw) for draw in proposed_params]
-        groups = structural_groups(params_list)
-        for parent in parents:
-            assert parent.checkpoint is not None
-        specs = build_group_specs(
-            groups, params_list, seeds,
-            snapshots=[p.checkpoint.snapshot for p in parents])
-        shards = simulate_groups(self.executor, specs,
-                                 end_day=window.end_day, engine=cfg.engine,
-                                 engine_options=cfg.engine_options,
-                                 retry=cfg.retry,
-                                 on_failure=self._on_shard_failure,
-                                 **self._shard_layout_kwargs())
-
-        particles: list[Particle | None] = [None] * len(parents)
-        for indices, group in zip(groups, shards):
-            for member, result, row in group.member_items():
-                idx = indices[member]
-                segment = result.batch.trajectory(row)
-                parent = parents[idx]
-                history = parent.history.extended_by(segment) \
-                    if parent.history is not None else segment
-                particles[idx] = Particle(
-                    params=proposed_params[idx], seed=int(seeds[idx]),
-                    segment=segment, history=history,
-                    checkpoint=Checkpoint(
-                        params=params_list[idx],
-                        snapshot=result.particle_snapshot(row)))
         return ParticleEnsemble(particles)
 
     # ------------------------------------------------------------------ #
@@ -1072,14 +1264,17 @@ class SequentialCalibrator:
                 rng_bias)
         return log_weights
 
-    def _weigh_and_resample(self, index: int, window: TimeWindow,
-                            ensemble: ParticleEnsemble,
-                            observations: ObservationSet,
-                            sim_days: int | None = None,
-                            resample_size: int | None = None) -> WindowResult:
+    def weigh_window(self, index: int, window: TimeWindow,
+                     ensemble: ParticleEnsemble,
+                     observations: ObservationSet,
+                     sim_days: int | None = None,
+                     resample_size: int | None = None) -> WindowResult:
         """Weight the window's cloud and draw its resampled posterior.
 
-        ``resample_size`` is the resample-size policy's running state (the
+        The third phase of the split-phase API (after
+        :meth:`propose_window` / :meth:`assemble_window`) — also the tail
+        of every fused :meth:`step_window`.  ``resample_size`` is the
+        resample-size policy's running state (the
         previous window's realised posterior size; default
         ``SMCConfig.resample_size``): the policy maps it and the window's
         pre-resampling weight diagnostics to this window's posterior count.
@@ -1165,3 +1360,6 @@ class SequentialCalibrator:
             diagnostics=diagnostics,
             weighted_ensemble=weighted_ensemble
             if cfg.keep_weighted_ensemble else None)
+
+    # Pre-split-phase private name, kept for callers and tests.
+    _weigh_and_resample = weigh_window

@@ -52,7 +52,7 @@ from .partition import shard_bounds
 
 __all__ = ["GroupSpec", "GroupShards", "ShardTask", "ShardResult",
            "run_shard", "dispatch_shards", "simulate_groups",
-           "structural_groups", "build_group_specs",
+           "simulate_group_sets", "structural_groups", "build_group_specs",
            "validate_shard_policy", "resolve_shard_layout"]
 
 
@@ -409,6 +409,31 @@ def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
     enable fault-tolerant dispatch (see :func:`dispatch_shards`).
     """
     tasks: list[ShardTask] = []
+    layouts, placements = _plan_group_tasks(
+        specs, tasks, end_day=end_day, engine=engine,
+        engine_options=engine_options, shard_size=shard_size,
+        n_shards=n_shards, return_state=return_state)
+    results = dispatch_shards(executor, tasks, retry=retry,
+                              on_failure=on_failure)
+    return [GroupShards(bounds=layouts[g],
+                        results=[results[t] for t in placements[g]])
+            for g in range(len(specs))]
+
+
+def _plan_group_tasks(specs: Sequence[GroupSpec], tasks: list[ShardTask], *,
+                      end_day: int, engine: str,
+                      engine_options: dict | None,
+                      shard_size: int | None, n_shards: int | None,
+                      return_state: bool
+                      ) -> tuple[list[list[tuple[int, int]]], list[list[int]]]:
+    """Shard ``specs`` into :class:`ShardTask`\\ s appended onto ``tasks``.
+
+    Returns ``(layouts, placements)``: per group, its shard bounds and the
+    task ids of its shards within the shared ``tasks`` list.  Shard ids are
+    positions in that list — per-shard RNG streams are keyed by the seed
+    slice alone, never by the id, so planning several spec sets into one
+    list (``simulate_group_sets``) leaves every shard's bits unchanged.
+    """
     layouts: list[list[tuple[int, int]]] = []
     placements: list[list[int]] = []  # per group: task ids of its shards
     for spec in specs:
@@ -437,8 +462,66 @@ def simulate_groups(executor: Executor, specs: Sequence[GroupSpec], *,
                 start_day=spec.start_day, state=state,
                 return_state=return_state))
         placements.append(task_ids)
+    return layouts, placements
+
+
+def simulate_group_sets(executor: Executor,
+                        spec_sets: Sequence[Sequence[GroupSpec]], *,
+                        end_day: int, engine: str,
+                        engine_options: dict | None = None,
+                        shard_size: int | None = None,
+                        n_shards: int | None = None,
+                        return_state: bool = True,
+                        retry: RetryPolicy | None = None,
+                        on_failures: Sequence[
+                            Callable[[ShardFailure], None] | None] | None = None
+                        ) -> list[list[GroupShards]]:
+    """:func:`simulate_groups` over several independent spec sets at once.
+
+    The scenario-sweep dispatch: each element of ``spec_sets`` is one
+    scenario's (or world-line's) group specs, and all sets' shards are
+    flattened into **one** executor map — the flattened scenario×group
+    space of the scenario-tensor design — so workers interleave shards
+    from every scenario instead of draining them set-by-set.  Because a
+    shard's RNG stream is keyed by its seed slice alone (shard ids are
+    mere dispatch positions), every returned :class:`GroupShards` is
+    bit-identical to a lone ``simulate_groups`` call over its own set
+    with the same ``shard_size``/``n_shards`` policy.
+
+    ``on_failures`` optionally routes shard-failure reports per set (same
+    length as ``spec_sets``); ``retry`` is shared.  Returns one
+    ``list[GroupShards]`` per input set, in order.
+    """
+    if on_failures is not None and len(on_failures) != len(spec_sets):
+        raise ValueError(
+            f"on_failures has {len(on_failures)} entries for "
+            f"{len(spec_sets)} spec sets")
+    tasks: list[ShardTask] = []
+    set_layouts: list[list[list[tuple[int, int]]]] = []
+    set_placements: list[list[list[int]]] = []
+    task_owner: list[int] = []  # task id -> spec-set index
+    for set_index, specs in enumerate(spec_sets):
+        layouts, placements = _plan_group_tasks(
+            specs, tasks, end_day=end_day, engine=engine,
+            engine_options=engine_options, shard_size=shard_size,
+            n_shards=n_shards, return_state=return_state)
+        set_layouts.append(layouts)
+        set_placements.append(placements)
+        task_owner.extend([set_index] * (len(tasks) - len(task_owner)))
+
+    on_failure: Callable[[ShardFailure], None] | None = None
+    if on_failures is not None:
+        sinks = list(on_failures)
+
+        def on_failure(failure: ShardFailure) -> None:
+            sink = sinks[task_owner[failure.shard_id]]
+            if sink is not None:
+                sink(failure)
+
     results = dispatch_shards(executor, tasks, retry=retry,
                               on_failure=on_failure)
-    return [GroupShards(bounds=layouts[g],
-                        results=[results[t] for t in placements[g]])
-            for g in range(len(specs))]
+    return [[GroupShards(bounds=set_layouts[s][g],
+                         results=[results[t]
+                                  for t in set_placements[s][g]])
+             for g in range(len(spec_sets[s]))]
+            for s in range(len(spec_sets))]

@@ -25,7 +25,7 @@ task fan-out (the oracle the batched forecast is parity-tested against);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core.particle import Particle, ParticleEnsemble
 from ..core.posterior import TrajectoryRibbon, trajectory_ribbon
@@ -37,7 +37,7 @@ from ..hpc.sharding import (build_group_specs, resolve_shard_layout,
 from ..seir.outputs import Trajectory
 from ..seir.seeding import mix_seed, register_stream_tag
 
-__all__ = ["Forecast", "forecast_from_posterior"]
+__all__ = ["Forecast", "forecast_from_posterior", "forecast_scenarios"]
 
 # Forecast continuation seeds occupy their own registered bank stream: the
 # registry raises at import time if another consumer ever claims tag 9100,
@@ -210,3 +210,32 @@ def forecast_from_posterior(posterior: ParticleEnsemble, horizon_days: int,
         trajectories = _scalar_forecast(entries, seeds, end_day, executor)
     return Forecast(start_day=start_day, horizon_days=horizon_days,
                     trajectories=tuple(trajectories))
+
+
+def forecast_scenarios(posteriors: "Mapping[str, ParticleEnsemble]",
+                       horizon_days: int,
+                       executor: Executor | None = None,
+                       base_seed: int = 0,
+                       n_per_particle: int = 1, *,
+                       path: str = "auto",
+                       shard_size: int | None = None,
+                       n_shards: int | str = "auto") -> dict[str, Forecast]:
+    """Fan :func:`forecast_from_posterior` out over per-scenario posteriors.
+
+    ``posteriors`` maps scenario name to a checkpoint-carrying posterior
+    ensemble — typically ``{r.scenario: r.final_posterior for r in
+    sweep_result}`` from :func:`~repro.inference.api.calibrate_scenarios`.
+    Every scenario forecasts under **common random numbers** (the same
+    ``base_seed``, hence the same continuation seed vector for equal
+    posterior seed lists), so cross-scenario forecast differences estimate
+    scenario effects, not Monte Carlo noise; pass a distinct ``base_seed``
+    per call for independent draws instead.  Scenarios are processed in
+    sorted-name (canonical) order sharing one executor; the returned dict
+    preserves that order.
+    """
+    executor = executor or SerialExecutor()
+    return {name: forecast_from_posterior(
+        posteriors[name], horizon_days, executor=executor,
+        base_seed=base_seed, n_per_particle=n_per_particle, path=path,
+        shard_size=shard_size, n_shards=n_shards)
+        for name in sorted(posteriors)}

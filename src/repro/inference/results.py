@@ -22,7 +22,7 @@ from ..core.window import WindowSchedule
 from ..data.sources import CASES
 from ..seir.outputs import Trajectory
 
-__all__ = ["CalibrationResult", "ParameterTrack"]
+__all__ = ["CalibrationResult", "ParameterTrack", "ScenarioSweepResult"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,10 @@ class CalibrationResult:
     #: Index of the last window restored from a checkpoint store, or None
     #: when the run computed every window from scratch.
     resumed_from: int | None = None
+    #: Name of the scenario this run calibrated under.  Defaults to
+    #: "baseline" so pre-scenario callers (and stored summaries, which
+    #: simply lacked the key) keep their meaning unchanged.
+    scenario: str = "baseline"
 
     def __post_init__(self) -> None:
         if len(self.windows) != len(self.schedule):
@@ -179,6 +183,7 @@ class CalibrationResult:
             "windows": [wr.window.label() for wr in self.windows],
             "wall_time_seconds": self.wall_time_seconds,
             "resumed_from": self.resumed_from,
+            "scenario": self.scenario,
             "log_evidence": self.log_evidence(),
             "ensemble_sizes": self.ensemble_sizes().tolist(),
             "resample_sizes": self.resample_sizes().tolist(),
@@ -208,3 +213,61 @@ class CalibrationResult:
             lines.append(" ".join(parts))
         lines.append(f"  total log-evidence: {self.log_evidence():.1f}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """Per-scenario :class:`CalibrationResult`\\ s from one vectorized sweep.
+
+    ``results`` is in the sweep's canonical (name-sorted) execution order;
+    index by scenario name or position.  ``computed_windows`` /
+    ``reused_windows`` record the world-line deduplication: windows
+    provably bit-identical across scenarios (common random numbers, equal
+    effective parameters so far) were simulated once and shared.
+    """
+
+    results: tuple[CalibrationResult, ...]
+    wall_time_seconds: float = float("nan")
+    #: Windows actually simulated vs served from another scenario's
+    #: identical world-line.
+    computed_windows: int = 0
+    reused_windows: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+        if not self.results:
+            raise ValueError("a sweep result needs at least one scenario")
+        names = [r.scenario for r in self.results]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario names in sweep: {names}")
+
+    @property
+    def names(self) -> list[str]:
+        return [r.scenario for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, key: int | str) -> CalibrationResult:
+        if isinstance(key, str):
+            for result in self.results:
+                if result.scenario == key:
+                    return result
+            raise KeyError(f"no scenario {key!r} in sweep; have {self.names}")
+        return self.results[key]
+
+    def summary(self) -> dict:
+        return {
+            "scenarios": self.names,
+            "wall_time_seconds": self.wall_time_seconds,
+            "computed_windows": self.computed_windows,
+            "reused_windows": self.reused_windows,
+            "results": {r.scenario: r.summary() for r in self.results},
+        }
+
+    def save_summary(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w") as fh:
+            json.dump(self.summary(), fh, indent=2)

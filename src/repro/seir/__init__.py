@@ -1,6 +1,7 @@
 """Stochastic SEIR disease simulator substrate (paper sections III, V-A)."""
 
-from .batch_engine import BatchedBinomialLeapEngine, BatchTrajectory
+from .batch_engine import (BatchedBinomialLeapEngine, BatchTrajectory,
+                           stack_channel_tensor)
 from .checkpoint import (Checkpoint, CheckpointError, StackedLeapState,
                          stack_leap_snapshots)
 from .compartments import (Compartment, N_COMPARTMENTS, TransitionSpec,
@@ -23,7 +24,7 @@ __all__ = [
     "SeedSequenceBank", "generator_for", "batch_generator_for", "mix_seed",
     "Trajectory", "TrajectoryBuilder",
     "BinomialLeapEngine", "GillespieEngine", "EventDrivenEngine",
-    "BatchedBinomialLeapEngine", "BatchTrajectory",
+    "BatchedBinomialLeapEngine", "BatchTrajectory", "stack_channel_tensor",
     "ScheduledEvent", "CompiledTransitions", "compiled_transitions_for",
     "transition_table_key",
     "Checkpoint", "CheckpointError", "StackedLeapState",

@@ -79,7 +79,7 @@ from .seeding import (batch_generator_for, generator_for,
 from .tauleap import compiled_transitions_for
 
 __all__ = ["BatchedBinomialLeapEngine", "BatchTrajectory",
-           "leap_particle_snapshot"]
+           "leap_particle_snapshot", "stack_channel_tensor"]
 
 _S = int(Compartment.S)
 _E = int(Compartment.E)
@@ -176,6 +176,31 @@ class BatchTrajectory:
                                self.deaths[:, lo:hi],
                                self.hospital_census[:, lo:hi],
                                self.icu_census[:, lo:hi])
+
+
+@shaped(returns="(n_scenarios, n_particles, n_days) float64")
+def stack_channel_tensor(batches: "list[BatchTrajectory]",
+                         channel: str) -> np.ndarray:
+    """Stack per-scenario batches into one scenario-axis tensor (copies).
+
+    The scenario-tensor view of a sweep: element ``[s, i, d]`` is scenario
+    ``s``'s member ``i`` on day ``d``.  Every batch must cover the same
+    days with the same member count — scenarios are parameter worlds over
+    one shared cloud shape, so a shape mismatch means the inputs are not
+    one sweep's outputs.
+    """
+    if not batches:
+        raise ValueError("need at least one BatchTrajectory to stack")
+    first = batches[0]
+    for b in batches[1:]:
+        if (b.start_day, b.n_particles, b.n_days) != \
+                (first.start_day, first.n_particles, first.n_days):
+            raise ValueError(
+                f"scenario batches disagree on shape/coverage: "
+                f"(start_day={b.start_day}, n_particles={b.n_particles}, "
+                f"n_days={b.n_days}) vs (start_day={first.start_day}, "
+                f"n_particles={first.n_particles}, n_days={first.n_days})")
+    return np.stack([b.channel_matrix(channel) for b in batches], axis=0)
 
 
 class BatchedBinomialLeapEngine:

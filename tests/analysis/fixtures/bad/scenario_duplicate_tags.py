@@ -1,0 +1,8 @@
+"""Fixture: a second consumer claiming the scenario bank tag (5) under a
+different stream name — the collision REPRO104 must flag statically before
+the import-time registry guard ever gets a chance to."""
+
+from repro.seir.seeding import register_stream_tag
+
+_SCENARIO_X_STREAM = register_stream_tag("scenario_x", 5)
+_SCENARIO_Y_STREAM = register_stream_tag("scenario_y", 5)

@@ -242,3 +242,32 @@ class TestAllowDirectives:
     def test_service_is_a_deterministic_subsystem(self):
         ctx = classify_path(Path("src/repro/service/artifacts.py"))
         assert ctx.deterministic and not ctx.typed
+
+
+class TestScenarioTagFixtures:
+    """This PR's scenario stream (bank tag 5) guarded by the same rules
+    that caught the PR 5 window-stream aliasing."""
+
+    def test_scenario_tag_misuse_shapes(self):
+        path = str(BAD / "core" / "scenario_tag.py")
+        v102 = run_lint([path], select=["REPRO102"])
+        v103 = run_lint([path], select=["REPRO103"])
+        # literal mix_seed tag, unregistered constant, literal purpose
+        assert len(v102) == 3, [v.render() for v in v102]
+        assert {v.rule for v in v102} == {"REPRO102"}
+        # the bare `_SCENARIO_STREAM = 5` assignment
+        assert len(v103) == 1, [v.render() for v in v103]
+
+    def test_scenario_tag_double_claim(self):
+        violations = run_lint([str(BAD / "scenario_duplicate_tags.py")],
+                              select=["REPRO104"])
+        assert len(violations) == 1
+        message = violations[0].message
+        assert "5" in message
+        assert "scenario_x" in message and "scenario_y" in message
+
+    def test_shipped_scenario_module_is_clean(self):
+        """The real implementation registers its tag properly."""
+        scenarios = Path(SRC) / "repro" / "core" / "scenarios.py"
+        seeding = Path(SRC) / "repro" / "seir" / "seeding.py"
+        assert run_lint([str(scenarios), str(seeding)]) == []

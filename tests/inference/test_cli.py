@@ -102,3 +102,56 @@ class TestCommands:
         payload = json.loads((tmp_path / "fig3_summary.json").read_text())
         assert "theta" in payload
         assert 0 < payload["ess_fraction"] <= 1
+
+
+class TestScenarioFlags:
+    def test_scenario_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig4", "--scenario", "baseline",
+             "--scenario", "milder_variant_d34"])
+        assert args.scenario == ["baseline", "milder_variant_d34"]
+        assert args.scenario_set is None
+
+    def test_scenario_set_parses(self):
+        args = build_parser().parse_args(["fig5", "--scenario-set", "default"])
+        assert args.scenario_set == "default"
+
+    def test_flags_default_to_single_run(self):
+        from repro.cli import _requested_scenarios
+        args = build_parser().parse_args(["fig4"])
+        assert _requested_scenarios(args) is None
+
+    def test_both_flags_rejected(self):
+        from repro.cli import _requested_scenarios
+        args = build_parser().parse_args(
+            ["fig4", "--scenario", "baseline", "--scenario-set", "default"])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            _requested_scenarios(args)
+
+    def test_unknown_scenario_rejected(self):
+        from repro.cli import _requested_scenarios
+        args = build_parser().parse_args(["fig4", "--scenario", "warp_drive"])
+        with pytest.raises(SystemExit, match="warp_drive"):
+            _requested_scenarios(args)
+
+    def test_unknown_set_rejected(self):
+        from repro.cli import _requested_scenarios
+        args = build_parser().parse_args(["fig4", "--scenario-set", "nope"])
+        with pytest.raises(SystemExit, match="nope"):
+            _requested_scenarios(args)
+
+    def test_set_expands_to_names(self):
+        from repro.cli import _requested_scenarios
+        args = build_parser().parse_args(["fig4", "--scenario-set", "default"])
+        names = _requested_scenarios(args)
+        assert names is not None
+        assert "baseline" in names
+        assert names == sorted(names)
+
+    def test_scenarios_command_lists_builtins(self, capsys):
+        code = main(["scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "milder_variant_d34" in out
+        assert "default" in out

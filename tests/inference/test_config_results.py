@@ -224,3 +224,96 @@ class TestCalibrateCheckpointing:
             assert np.array_equal(wa.posterior.values("theta"),
                                   wb.posterior.values("theta"))
             assert wa.diagnostics.to_dict() == wb.diagnostics.to_dict()
+
+
+class TestScenarioResultCompat:
+    """Scenario-era result plumbing stays back-compatible.
+
+    Pre-scenario artefacts (constructor calls, stored summaries,
+    diagnostics payloads) never mentioned a scenario; they must keep their
+    exact meaning — implicitly "baseline" — while sweep results route one
+    CalibrationResult per scenario."""
+
+    @pytest.fixture(scope="class")
+    def sweep_result(self):
+        from repro.core.scenarios import ScenarioOverride, ScenarioSpec
+        from repro.data import PiecewiseConstant
+        from repro.inference import calibrate_scenarios
+        from repro.seir import DiseaseParameters
+        from repro.sim import make_ground_truth
+
+        params = DiseaseParameters(population=30_000, initial_exposed=60)
+        truth = make_ground_truth(
+            params=params, horizon=30, seed=11,
+            theta_schedule=PiecewiseConstant.constant(0.3),
+            rho_schedule=PiecewiseConstant.constant(0.7))
+        mild20 = ScenarioSpec("mild20", overrides=(
+            ScenarioOverride("mild_fraction", 0.97, start_day=20),))
+        cfg = CalibrationConfig(window_breaks=(10, 20, 30),
+                                n_parameter_draws=25, n_replicates=2,
+                                resample_size=30, base_seed=2)
+        return calibrate_scenarios(truth.observations(include_deaths=True),
+                                   scenarios=("baseline", mild20),
+                                   config=cfg, base_params=params)
+
+    def test_scenario_field_defaults_to_baseline(self, sweep_result):
+        from repro.inference import CalibrationResult
+        ref = sweep_result[0]
+        legacy = CalibrationResult(schedule=ref.schedule, windows=ref.windows,
+                                   config_payload={})
+        assert legacy.scenario == "baseline"
+        assert legacy.summary()["scenario"] == "baseline"
+
+    def test_summary_carries_scenario(self, sweep_result):
+        assert sweep_result["baseline"].summary()["scenario"] == "baseline"
+        assert sweep_result["mild20"].summary()["scenario"] == "mild20"
+
+    def test_getitem_by_name_and_index(self, sweep_result):
+        assert sweep_result.names == ["baseline", "mild20"]
+        assert sweep_result[0] is sweep_result["baseline"]
+        assert sweep_result[1] is sweep_result["mild20"]
+        assert len(sweep_result) == 2
+        assert [r.scenario for r in sweep_result] == ["baseline", "mild20"]
+        with pytest.raises(KeyError, match="nope"):
+            sweep_result["nope"]
+
+    def test_duplicate_scenarios_rejected(self, sweep_result):
+        from repro.inference import ScenarioSweepResult
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSweepResult(results=(sweep_result[0], sweep_result[0]))
+
+    def test_window_zero_deduplicated(self, sweep_result):
+        # mild20 only diverges at day 20: window 0 is shared work.
+        assert sweep_result.computed_windows == 3
+        assert sweep_result.reused_windows == 1
+        assert np.array_equal(
+            sweep_result["baseline"].windows[0].posterior.values("theta"),
+            sweep_result["mild20"].windows[0].posterior.values("theta"))
+
+    def test_sweep_summary_round_trip(self, sweep_result, tmp_path):
+        import json
+        path = tmp_path / "sweep.json"
+        sweep_result.save_summary(path)
+        payload = json.loads(path.read_text())
+        assert payload["scenarios"] == ["baseline", "mild20"]
+        assert payload["computed_windows"] == 3
+        assert payload["reused_windows"] == 1
+        assert payload["results"]["mild20"]["scenario"] == "mild20"
+
+    def test_diagnostics_payload_round_trip(self, sweep_result):
+        from repro.core.diagnostics import WindowDiagnostics
+        diag = sweep_result[0].windows[0].diagnostics
+        assert WindowDiagnostics.from_dict(diag.to_dict()) == diag
+
+    def test_diagnostics_tolerate_pre_scenario_payloads(self, sweep_result):
+        """Payloads written before the optional keys existed still load."""
+        from repro.core.diagnostics import WindowDiagnostics
+        payload = sweep_result[0].windows[0].diagnostics.to_dict()
+        for newer in ("particle_steps", "temper_schedule", "temper_stage_ess",
+                      "shard_failures", "shard_failure_causes"):
+            payload.pop(newer)
+        restored = WindowDiagnostics.from_dict(payload)
+        assert restored.n_particles == \
+            sweep_result[0].windows[0].diagnostics.n_particles
+        assert restored.shard_failures == 0
+        assert restored.temper_schedule == ()

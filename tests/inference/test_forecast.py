@@ -228,3 +228,32 @@ class TestShardedBatchedForecast:
         for traj in fc.trajectories:
             assert len(traj) == 4
             assert np.all(np.isfinite(traj.infections))
+
+
+class TestForecastScenarios:
+    """forecast_scenarios: CRN fan-out over per-scenario posteriors."""
+
+    def test_crn_identical_posteriors_identical_forecasts(self, posterior):
+        import numpy as np
+        from repro.inference import forecast_scenarios
+        fcs = forecast_scenarios({"a": posterior, "b": posterior},
+                                 horizon_days=6, base_seed=4)
+        assert list(fcs) == ["a", "b"]
+        for ta, tb in zip(fcs["a"].trajectories, fcs["b"].trajectories):
+            assert np.array_equal(ta.infections, tb.infections)
+            assert np.array_equal(ta.deaths, tb.deaths)
+
+    def test_canonical_sorted_order(self, posterior):
+        from repro.inference import forecast_scenarios
+        fcs = forecast_scenarios(
+            {"zeta": posterior, "alpha": posterior, "mid": posterior},
+            horizon_days=4)
+        assert list(fcs) == ["alpha", "mid", "zeta"]
+
+    def test_matches_single_scenario_call(self, posterior):
+        import numpy as np
+        from repro.inference import forecast_scenarios
+        alone = forecast_from_posterior(posterior, 5, base_seed=9)
+        swept = forecast_scenarios({"only": posterior}, 5, base_seed=9)
+        for a, b in zip(alone.trajectories, swept["only"].trajectories):
+            assert np.array_equal(a.infections, b.infections)

@@ -315,3 +315,60 @@ class TestBiasInvariants:
         out = BinomialBiasModel("sample").apply(counts.astype(float), rho, rng)
         assert np.all(out >= 0)
         assert np.all(out <= counts)
+
+
+class TestScenarioBatchInvariants:
+    """Per-scenario posteriors are invariant to sweep composition.
+
+    Whatever subset of scenarios rides in a sweep, and in whatever request
+    order, each member's windows must be bit-identical to calibrating that
+    scenario alone (``docs/scenarios.md`` oracle b, property-tested over
+    the composition space rather than one pinned batch).
+    """
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _pool():
+        from repro.core.scenarios import (ScenarioOverride, ScenarioSpec,
+                                          get_scenario)
+        return {
+            "baseline": get_scenario("baseline"),
+            "mild16": ScenarioSpec("mild16", overrides=(
+                ScenarioOverride("mild_fraction", 0.97, start_day=16),)),
+            "milder16": ScenarioSpec("milder16", overrides=(
+                ScenarioOverride("mild_fraction", 0.99, start_day=16),)),
+            "detect24": ScenarioSpec("detect24", overrides=(
+                ScenarioOverride("detected_rel_infectiousness", 0.05,
+                                 start_day=24),)),
+        }
+
+    @staticmethod
+    @functools.lru_cache(maxsize=None)
+    def _truth():
+        from repro.testing import parity_truth
+        return parity_truth()
+
+    @classmethod
+    @functools.lru_cache(maxsize=None)
+    def _alone(cls, name):
+        """Standalone reference run for one scenario (cached per session)."""
+        from repro.testing import parity_calibrator
+        truth = cls._truth()
+        calib = parity_calibrator(truth, scenario=cls._pool()[name])
+        return calib.run(truth.observations())
+
+    @settings(max_examples=5, deadline=None)
+    @given(data=st.data())
+    def test_posterior_invariant_to_batch_composition_and_order(self, data):
+        from repro.testing import assert_runs_identical, parity_sweep
+        names = sorted(self._pool())
+        subset = data.draw(st.lists(st.sampled_from(names), min_size=1,
+                                    max_size=len(names), unique=True))
+        order = data.draw(st.permutations(subset))
+        truth = self._truth()
+        sweep = parity_sweep(truth, [self._pool()[n] for n in order])
+        results = sweep.run(truth.observations())
+        for name in subset:
+            assert_runs_identical(
+                self._alone(name), results[name],
+                f"sweep {list(order)}, scenario {name}")
