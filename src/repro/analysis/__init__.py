@@ -27,16 +27,27 @@ Rule families
 * ``REPRO4xx`` — **typed core**: the modules mypy gates in CI (``core/``,
   ``hpc/``, ``seir/seeding.py``) carry complete signature annotations, so
   the typed surface cannot silently erode between mypy runs.
+* ``REPRO5xx`` — **interprocedural determinism** (the whole-project
+  ``python -m repro.analysis.flow src/`` pass): generator provenance
+  (``REPRO50x`` — no ``numpy.random.Generator`` escapes into module
+  globals, long-lived service state, or executor payloads, even through
+  helpers in other files) and payload purity proofs (``REPRO51x`` — every
+  dispatched closure transitively avoids wall-clock, ambient RNG,
+  mutable-global writes, and undeclared filesystem access), with a
+  machine-readable purity certificate per dispatch site.
 
 The rules are implemented on :mod:`ast` alone (no third-party
-dependencies), so the lint runs anywhere the code itself runs.
+dependencies), so the analyses run anywhere the code itself runs.  Both
+CLIs share ``--format sarif`` (GitHub-annotation upload), ``--cache-dir``
+(content-hash result caching, :mod:`repro.analysis.cache`), and the
+scoped ``# repro-allow: RULE reason`` waiver syntax.
 """
 
 from typing import Any
 
 from .rules import Violation
 
-__all__ = ["Violation", "main", "run_lint"]
+__all__ = ["Violation", "main", "run_flow", "run_lint"]
 
 
 def __getattr__(name: str) -> Any:
@@ -45,4 +56,7 @@ def __getattr__(name: str) -> Any:
     if name in ("main", "run_lint"):
         from . import lint
         return getattr(lint, name)
+    if name == "run_flow":
+        from .flow import run_flow
+        return run_flow
     raise AttributeError(name)

@@ -1,0 +1,97 @@
+"""Content-hash result cache for the static analysis passes.
+
+CI and pre-commit run the analyzers on every invocation; almost all of
+that work is re-deriving facts about files that did not change.  The
+cache keys results on *content*, never on timestamps:
+
+* every entry embeds the **ruleset fingerprint** — a sha256 over the
+  source bytes of ``repro.analysis`` itself — so editing any rule,
+  the call-graph builder, or this module invalidates everything;
+* ``repro lint`` keys per file on ``(file sha256, registered-constant
+  environment)``: per-file verdicts also depend on which stream
+  constants *other* files registered, so that cross-file environment is
+  hashed into the key rather than pretending files are independent;
+* ``repro flow`` keys the **whole project** on the sorted
+  ``(path, sha256)`` set — a whole-program analysis has no sound
+  per-file decomposition, and claiming one would serve stale verdicts
+  after a change in a callee two modules away.
+
+Entries are JSON files written atomically (temp file + ``os.replace``)
+so a killed run never leaves a truncated entry behind; a corrupt or
+unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["AnalysisCache", "file_sha256", "ruleset_fingerprint"]
+
+
+def file_sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def ruleset_fingerprint() -> str:
+    """sha256 over the analysis package's own sources.
+
+    Any change to a rule, the flow passes, or the cache layout yields a
+    new fingerprint, so stale entries can never satisfy a newer ruleset.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(str(path.relative_to(package_dir)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """Namespace -> key -> JSON payload store under one cache directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _entry_path(self, namespace: str, key: str) -> Path:
+        safe = hashlib.sha256(key.encode()).hexdigest()
+        return self.root / namespace / f"{safe}.json"
+
+    def get(self, namespace: str, key: str) -> dict | None:
+        path = self._entry_path(namespace, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        # The full key is stored inside the entry and compared exactly:
+        # a sha collision on the filename alone can never alias entries.
+        if payload.get("key") != key:
+            return None
+        return payload.get("value")
+
+    def put(self, namespace: str, key: str, value: dict) -> None:
+        path = self._entry_path(namespace, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"key": key, "value": value}, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to "no cache",
+            # never to a failed analysis run.
+            return

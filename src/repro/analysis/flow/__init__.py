@@ -1,0 +1,29 @@
+"""Interprocedural determinism analysis (``python -m repro.analysis.flow``).
+
+Where :mod:`repro.analysis.lint` checks one file at a time, this package
+builds a whole-project view and proves two properties the per-file rules
+cannot see:
+
+* **generator provenance** (REPRO50x) — no ``numpy.random.Generator``
+  escapes into module globals, long-lived service state, or executor
+  payloads, even when the construction is hidden behind helpers defined
+  in other modules (:mod:`.provenance`);
+* **payload purity** (REPRO51x) — every function dispatched through the
+  ``Executor`` protocol is, transitively, a pure function of its task
+  dataclass: no wall-clock, no ambient RNG, no mutable-global writes, no
+  filesystem access outside the declared stores (:mod:`.purity`), with a
+  machine-readable certificate per dispatch site.
+
+The supporting call-graph/index machinery lives in :mod:`.callgraph`; the
+CLI and orchestration in :mod:`.report`.
+"""
+
+from .callgraph import ProjectIndex, build_index, find_dispatch_sites
+from .provenance import check_provenance, infer_generator_returning
+from .purity import PurityCertificate, check_purity
+from .report import FLOW_FAMILIES, main, run_flow
+
+__all__ = ["FLOW_FAMILIES", "ProjectIndex", "PurityCertificate",
+           "build_index", "check_provenance", "check_purity",
+           "find_dispatch_sites", "infer_generator_returning", "main",
+           "run_flow"]

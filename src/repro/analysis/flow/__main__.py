@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.flow`` dispatches to :func:`.report.main`."""
+
+from .report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,24 @@ RULES: dict[str, str] = {
     "REPRO302": "raw tuple/dict executor payload instead of a declared "
                 "dataclass task",
     "REPRO401": "incomplete signature annotations in a typed-core module",
+    # REPRO50x/51x are emitted by the interprocedural pass
+    # (python -m repro.analysis.flow), not by the per-file lint; they live
+    # in the shared catalogue so --list-rules and repro-allow validation
+    # cover both tools.
+    "REPRO501": "numpy.random.Generator cached in a module global "
+                "(directly or via a helper's return value)",
+    "REPRO502": "numpy.random.Generator stored on long-lived service/"
+                "supervisor state",
+    "REPRO503": "numpy.random.Generator crossing an Executor payload "
+                "boundary",
+    "REPRO511": "wall-clock read reachable from an Executor dispatch "
+                "target",
+    "REPRO512": "ambient RNG (stdlib random, legacy numpy.random, "
+                "unseeded default_rng) reachable from a dispatch target",
+    "REPRO513": "mutable module-global write reachable from a dispatch "
+                "target",
+    "REPRO514": "filesystem access outside declared stores reachable from "
+                "a dispatch target",
 }
 
 #: Constant-name shapes that denote stream tags (REPRO103).
@@ -48,6 +66,8 @@ _STREAM_CONST_RE = re.compile(r"^_[A-Z0-9_]*_STREAM$|^_PURPOSE_[A-Z0-9_]+$")
 #: Wall-clock callables rejected in deterministic subsystems (REPRO201).
 _WALL_CLOCK = {
     "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 }
@@ -511,7 +531,8 @@ def parse_allow_directives(path: str, source: str
 
 
 def apply_allow_directives(violations: list[Violation],
-                           directives: list[AllowDirective]
+                           directives: list[AllowDirective],
+                           families: tuple[str, ...] | None = None
                            ) -> list[Violation]:
     """Waive directive-covered violations; flag directives that waive
     nothing.
@@ -519,7 +540,14 @@ def apply_allow_directives(violations: list[Violation],
     An unused directive is itself a REPRO203 violation: once the code it
     excused stops violating the rule, the stale exemption would silently
     re-arm the moment someone reintroduces the hazard on that line.
+
+    ``families`` scopes which directives this *pass* is responsible for,
+    by rule-id prefix.  The lint and the flow pass share one directive
+    syntax but emit disjoint rule families; without the scope each would
+    flag the other's perfectly-used directives as unused.
     """
+    if families is not None:
+        directives = [d for d in directives if d.rule.startswith(families)]
     by_key: dict[tuple[str, int], list[AllowDirective]] = {}
     for d in directives:
         by_key.setdefault((d.rule, d.target_line), []).append(d)

@@ -89,6 +89,7 @@ def calibrate(observations: ObservationSet,
         progress=progress,
         scenario=spec,
     )
+    # repro-allow: REPRO201 wall_time_seconds is reporting metadata, never an input to any draw
     started = time.perf_counter()
     try:
         window_results = calibrator.run(observations, store=store,
@@ -96,6 +97,7 @@ def calibrate(observations: ObservationSet,
     finally:
         if own_executor:
             exec_backend.close()
+    # repro-allow: REPRO201 wall_time_seconds is reporting metadata, never an input to any draw
     elapsed = time.perf_counter() - started
     if store is not None and config.checkpoint_keep_last is not None:
         # Post-run retention GC only: pruning mid-run would break the
@@ -157,6 +159,7 @@ def calibrate_scenarios(observations: ObservationSet,
         stores = {name: CheckpointStore(root / name,
                                         run_id=f"seed{config.base_seed}")
                   for name in sweep.names}
+    # repro-allow: REPRO201 sweep wall time is reporting metadata, never an input to any draw
     started = time.perf_counter()
     try:
         window_results = sweep.run(observations, stores=stores,
@@ -164,6 +167,7 @@ def calibrate_scenarios(observations: ObservationSet,
     finally:
         if own_executor:
             exec_backend.close()
+    # repro-allow: REPRO201 sweep wall time is reporting metadata, never an input to any draw
     elapsed = time.perf_counter() - started
     if stores is not None and config.checkpoint_keep_last is not None:
         for name_store in stores.values():

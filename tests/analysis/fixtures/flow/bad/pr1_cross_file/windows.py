@@ -1,0 +1,22 @@
+"""Consumer half of the cross-file PR 1 reproduction.
+
+The module-level ``_NOISE`` cache is exactly the PR 1 bug: a stream
+derived once and reused across every window, so each window re-serves the
+same draws instead of advancing its own substream.  Because the generator
+construction lives behind ``rngtools.noise_rng`` in another file, the
+per-file lint sees only a call to an ordinary helper — zero findings.
+The interprocedural pass types the helper's return and flags this line as
+REPRO501.
+"""
+
+from rngtools import noise_rng
+
+from repro.seir.seeding import SeedSequenceBank
+
+_BANK = SeedSequenceBank(base_seed=1234)
+
+_NOISE = noise_rng(_BANK)  # cached across windows: the PR 1 bug, cross-file
+
+
+def draw_window_noise(n):
+    return _NOISE.normal(size=n)

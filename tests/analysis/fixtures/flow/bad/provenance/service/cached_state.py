@@ -1,0 +1,25 @@
+"""Generator state cached on a long-lived service object (REPRO502 x2).
+
+Service/supervisor objects live across calibration windows by design, so
+both escape shapes here turn a transient stream into cross-window state:
+the generator-typed dataclass field declares the intent, and the
+``start`` method realises it by storing the bank-derived stream on
+``self``.
+"""
+
+import numpy as np
+
+from repro.seir.seeding import register_ancillary_purpose
+
+_PURPOSE_SERVICE_NOISE = register_ancillary_purpose("service_noise", 7702)
+
+
+class NoiseService:
+    rng: np.random.Generator  # generator-typed field on service state
+
+    def start(self, bank):
+        # stores the stream for the service's whole lifetime
+        self._rng = bank.ancillary_generator(purpose=_PURPOSE_SERVICE_NOISE)
+
+    def tick(self, n):
+        return self._rng.normal(size=n)

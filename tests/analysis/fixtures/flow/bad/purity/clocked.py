@@ -1,0 +1,29 @@
+"""Dispatcher half of the cross-file impurity fixture.
+
+``run_task`` itself contains no effect — every impurity hides one call
+away in ``impure_helpers``, which is exactly the distance at which the
+per-file REPRO2xx rules go blind.  The flow pass walks the closure and
+anchors one violation per effect at the offending helper line.
+"""
+
+from dataclasses import dataclass
+
+from impure_helpers import bump_counter, draw_legacy, spill, stamp
+
+
+@dataclass(frozen=True)
+class NoisyTask:
+    member: int
+    seed: int
+
+
+def run_task(task):
+    started = stamp()
+    noise = draw_legacy()
+    bump_counter()
+    spill(noise)
+    return started + noise + task.seed
+
+
+def launch(executor, tasks):
+    return executor.map(run_task, tasks)

@@ -1,0 +1,31 @@
+"""Helper half of the cross-file impurity fixture: one effect per rule.
+
+Each function carries exactly one of the four effect classes the purity
+pass rejects inside dispatch closures — wall-clock (REPRO511), ambient
+RNG (REPRO512), a mutable module-global write (REPRO513), and filesystem
+access outside the declared stores (REPRO514).
+"""
+
+import time
+
+import numpy as np
+
+_CALLS = 0
+
+
+def stamp():
+    return time.time()  # REPRO511: retried shards see different values
+
+
+def draw_legacy():
+    return float(np.random.rand())  # REPRO512: hidden global RandomState
+
+
+def bump_counter():
+    global _CALLS
+    _CALLS += 1  # REPRO513: per-worker state the payload never carried
+
+
+def spill(value):
+    with open("/tmp/spill.txt", "w") as fh:  # REPRO514: undeclared store
+        fh.write(str(value))

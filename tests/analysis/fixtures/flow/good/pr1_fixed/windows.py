@@ -1,0 +1,13 @@
+"""Consumer half of the fixed PR 1 shape.
+
+The stream is derived where it is consumed, every call, from the bank the
+caller passes in — nothing outlives a window, so the flow pass has
+nothing to flag even though the same cross-file helper is involved.
+"""
+
+from rngtools import noise_rng
+
+
+def draw_window_noise(bank, n):
+    rng = noise_rng(bank)
+    return rng.normal(size=n)

@@ -1,0 +1,24 @@
+"""Dispatcher half of the clean cross-file pipeline.
+
+The closure (``run_task`` -> ``scale``/``combine``) is a pure function of
+the task dataclass; the flow pass certifies it with zero effects and a
+fully resolved closure.
+"""
+
+from dataclasses import dataclass
+
+from pure_helpers import combine, scale
+
+
+@dataclass(frozen=True)
+class CleanTask:
+    member: int
+    seed: int
+
+
+def run_task(task):
+    return combine(scale(task.member, 2.0), float(task.seed))
+
+
+def launch(executor, tasks):
+    return executor.map(run_task, tasks)

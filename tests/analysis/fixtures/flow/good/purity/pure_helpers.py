@@ -1,0 +1,9 @@
+"""Helper half of the clean cross-file pipeline: pure arithmetic only."""
+
+
+def scale(value, factor):
+    return value * factor
+
+
+def combine(a, b):
+    return a + b
